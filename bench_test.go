@@ -1,0 +1,500 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6). Each benchmark runs the experiment's core
+// computation under testing.B and reports the headline quantity of the
+// corresponding table/figure as a custom metric (speedups, percent of
+// the Amdahl bound, load imbalance, fit quality), so `go test -bench=.`
+// reproduces the paper's result shapes. cmd/experiments renders the same
+// experiments as full text reports.
+package hetjpeg_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hetjpeg"
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/harness"
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/perfmodel"
+	"hetjpeg/internal/platform"
+)
+
+// Shared fixtures, built once.
+var (
+	fixOnce   sync.Once
+	fixModels map[string]*perfmodel.Model
+	fixErr    error
+)
+
+func models(b testing.TB) map[string]*perfmodel.Model {
+	fixOnce.Do(func() {
+		// Full training corpora: the benchmark sweeps reach ~5 MP, and
+		// the quick test models (trained to 0.5 MP) extrapolate poorly
+		// out there — the paper's own Section 5.1 caveat.
+		fixModels = map[string]*perfmodel.Model{}
+		for _, spec := range platform.All() {
+			m, err := perfmodel.Default(spec)
+			if err != nil {
+				fixErr = err
+				return
+			}
+			fixModels[spec.Name] = m
+		}
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fixModels
+}
+
+var (
+	corpusOnce sync.Once
+	corpusData map[string][]imagegen.Item
+	corpusErr  error
+)
+
+// benchCorpus returns a compact test corpus (disjoint seeds from
+// training) per subsampling.
+func benchCorpus(b testing.TB, sub jfif.Subsampling) []imagegen.Item {
+	corpusOnce.Do(func() {
+		corpusData = map[string][]imagegen.Item{}
+		for _, s := range []jfif.Subsampling{jfif.Sub422, jfif.Sub444} {
+			opts := imagegen.CorpusOptions{
+				Widths:   []int{320, 768, 1280},
+				Heights:  []int{240, 576, 960},
+				Details:  []float64{0.15, 0.55, 0.95},
+				Sub:      s,
+				Quality:  85,
+				SeedBase: 77000,
+			}
+			items, err := imagegen.Build(opts)
+			if err != nil {
+				corpusErr = err
+				return
+			}
+			corpusData[s.String()] = items
+		}
+	})
+	if corpusErr != nil {
+		b.Fatal(corpusErr)
+	}
+	return corpusData[sub.String()]
+}
+
+var sweepSizes = [][2]int{
+	{512, 384}, {800, 600}, {1024, 768}, {1600, 1200}, {2048, 1536}, {2560, 1920},
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+
+func BenchmarkTable1_Specs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1Text() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: linear scaling of the parallel phase.
+
+func BenchmarkFigure6_ParallelPhaseScaling(b *testing.B) {
+	var r *harness.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = harness.Figure6(platform.GTX560(), sweepSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.R2SIMD, "R2-simd")
+	b.ReportMetric(r.R2GPU, "R2-gpu")
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: Huffman rate vs entropy density.
+
+func BenchmarkFigure7_HuffmanRateVsDensity(b *testing.B) {
+	var r *harness.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = harness.Figure7(platform.GTX560(), jfif.Sub422)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.R2, "R2")
+	b.ReportMetric(r.Slope, "ns/px-per-B/px")
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: breakdown on a 2048x2048 image.
+
+func BenchmarkFigure9_Breakdown(b *testing.B) {
+	var cols []harness.Fig9Column
+	var err error
+	for i := 0; i < b.N; i++ {
+		cols, err = harness.Figure9(2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cols {
+		if c.Mode == core.ModeGPU {
+			b.ReportMetric(c.VsSIMDNorm, "gpuVsSimd-"+sanitize(c.Machine))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// ---------------------------------------------------------------------
+// Tables 2 and 3: mean speedups over SIMD.
+
+func benchSpeedupTable(b *testing.B, sub jfif.Subsampling) {
+	ms := models(b)
+	corpus := benchCorpus(b, sub)
+	var cells []harness.SpeedupCell
+	var err error
+	for i := 0; i < b.N; i++ {
+		cells, err = harness.SpeedupTable(sub, corpus, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		b.ReportMetric(c.Mean, fmt.Sprintf("x-%s-%s", c.Mode, sanitize(c.Machine)))
+	}
+}
+
+func BenchmarkTable2_Speedups422(b *testing.B) { benchSpeedupTable(b, jfif.Sub422) }
+func BenchmarkTable3_Speedups444(b *testing.B) { benchSpeedupTable(b, jfif.Sub444) }
+
+// ---------------------------------------------------------------------
+// Figure 10: speedup vs image size.
+
+func BenchmarkFigure10_SpeedupVsSize(b *testing.B) {
+	ms := models(b)
+	var pts []harness.Fig10Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = harness.Figure10(jfif.Sub444, sweepSizes, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the largest-size PPS speedup per machine (the curve's tail).
+	best := map[string]float64{}
+	maxPix := 0
+	for _, p := range pts {
+		if p.Pixels > maxPix {
+			maxPix = p.Pixels
+		}
+	}
+	for _, p := range pts {
+		if p.Pixels == maxPix && p.Mode == core.ModePPS {
+			best[p.Machine] = p.Speedup
+		}
+	}
+	for m, v := range best {
+		b.ReportMetric(v, "ppsTail-"+sanitize(m))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: percent of the Amdahl bound.
+
+func BenchmarkFigure11_AmdahlShare(b *testing.B) {
+	ms := models(b)
+	var pts []harness.Fig11Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = harness.Figure11(platform.GTX680(), jfif.Sub444, sweepSizes, ms["GTX 680"])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mean float64
+	for _, p := range pts {
+		mean += p.Percent
+	}
+	b.ReportMetric(mean/float64(len(pts)), "pct-of-bound")
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: CPU/GPU balance.
+
+func BenchmarkFigure12_Balance(b *testing.B) {
+	ms := models(b)
+	var pts []harness.Fig12Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = harness.Figure12(jfif.Sub444, sweepSizes[:4], ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	n := 0
+	for _, p := range pts {
+		if p.CPUNs == 0 || p.GPUNs == 0 {
+			continue // one-sided schedules have no balance to measure
+		}
+		m := p.CPUNs
+		if p.GPUNs > m {
+			m = p.GPUNs
+		}
+		d := p.CPUNs - p.GPUNs
+		if d < 0 {
+			d = -d
+		}
+		sum += d / m
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(100*sum/float64(n), "mean-imbalance-pct")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Real (wall-clock) decodes: the simulated device actually computes
+// pixels, so these measure genuine host throughput per mode.
+
+func benchRealDecode(b *testing.B, mode core.Mode) {
+	ms := models(b)
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, [][2]int{{1024, 1024}}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := items[0].Data
+	spec := platform.GTX560()
+	b.SetBytes(1024 * 1024 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: mode, Spec: spec, Model: ms[spec.Name]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealDecode_Sequential(b *testing.B)   { benchRealDecode(b, core.ModeSequential) }
+func BenchmarkRealDecode_SIMD(b *testing.B)         { benchRealDecode(b, core.ModeSIMD) }
+func BenchmarkRealDecode_GPU(b *testing.B)          { benchRealDecode(b, core.ModeGPU) }
+func BenchmarkRealDecode_PipelinedGPU(b *testing.B) { benchRealDecode(b, core.ModePipelinedGPU) }
+func BenchmarkRealDecode_SPS(b *testing.B)          { benchRealDecode(b, core.ModeSPS) }
+func BenchmarkRealDecode_PPS(b *testing.B)          { benchRealDecode(b, core.ModePPS) }
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md Section 6): design choices the paper calls out.
+
+// Merged vs split kernels (Section 4.4).
+func BenchmarkAblation_MergedVsSplitKernels(b *testing.B) {
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, [][2]int{{1600, 1200}}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := items[0].Data
+	spec := platform.GTX560()
+	var merged, split float64
+	for i := 0; i < b.N; i++ {
+		rm, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeGPU, Spec: spec, VirtualOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeGPU, Spec: spec, VirtualOnly: true, SplitKernels: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged, split = rm.TotalNs, rs.TotalNs
+	}
+	b.ReportMetric(split/merged, "split/merged")
+}
+
+// Chunk-size sensitivity (Section 4.5).
+func BenchmarkAblation_ChunkSize(b *testing.B) {
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, [][2]int{{2048, 2048}}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := items[0].Data
+	spec := platform.GTX560()
+	results := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, c := range []int{2, 8, 24, 64, 256} {
+			r, err := hetjpeg.Decode(data, hetjpeg.Options{
+				Mode: core.ModePipelinedGPU, Spec: spec, ChunkRows: c, VirtualOnly: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[c] = r.TotalNs
+		}
+	}
+	for c, ns := range results {
+		b.ReportMetric(ns/1e6, fmt.Sprintf("ms-chunk%d", c))
+	}
+}
+
+// Optimized Huffman tables vs Annex K defaults (encoder substrate).
+func BenchmarkAblation_OptimizedHuffman(b *testing.B) {
+	img := imagegen.Generate(imagegen.Scene{Seed: 3, Detail: 0.7}, 1024, 768)
+	var stdLen, optLen int
+	for i := 0; i < b.N; i++ {
+		std, err := hetjpeg.Encode(img, hetjpeg.EncodeOptions{Quality: 85, Subsampling: jfif.Sub422})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := hetjpeg.Encode(img, hetjpeg.EncodeOptions{Quality: 85, Subsampling: jfif.Sub422, OptimizeHuffman: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stdLen, optLen = len(std), len(opt)
+	}
+	b.ReportMetric(float64(optLen)/float64(stdLen), "opt/std-bytes")
+}
+
+// Work-group size sensitivity (Section 5.1 sweeps 4..32 MCUs).
+func BenchmarkAblation_WorkGroupSize(b *testing.B) {
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, [][2]int{{1600, 1200}}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := items[0].Data
+	results := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, gb := range []int{4, 8, 16, 32, 64} {
+			spec := *platform.GTX560()
+			spec.WorkGroupBlocks = gb
+			r, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeGPU, Spec: &spec, VirtualOnly: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[gb] = r.TotalNs
+		}
+	}
+	for gb, ns := range results {
+		b.ReportMetric(ns/1e6, fmt.Sprintf("ms-wg%d", gb))
+	}
+}
+
+// Pipelined execution vs single launch across image sizes: where does
+// pipelining stop helping (small images, Section 6.2)?
+func BenchmarkAblation_PipelineCrossover(b *testing.B) {
+	spec := platform.GTX560()
+	sizes := [][2]int{{128, 128}, {512, 512}, {2048, 2048}}
+	results := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, wh := range sizes {
+			items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, [][2]int{wh}, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gpu, err := hetjpeg.Decode(items[0].Data, hetjpeg.Options{Mode: core.ModeGPU, Spec: spec, VirtualOnly: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe, err := hetjpeg.Decode(items[0].Data, hetjpeg.Options{Mode: core.ModePipelinedGPU, Spec: spec, VirtualOnly: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[wh[0]] = gpu.TotalNs / pipe.TotalNs
+		}
+	}
+	for size, gain := range results {
+		b.ReportMetric(gain, fmt.Sprintf("pipeGain-%dpx", size))
+	}
+}
+
+// What-if: the embedded (integrated GPU, zero-copy) machine from the
+// paper's conclusion. The weak GPU loses on raw kernels, but cheap
+// transfers keep heterogeneous decoding ahead of SIMD.
+func BenchmarkExtension_EmbeddedPlatform(b *testing.B) {
+	spec := platform.Embedded()
+	model, err := perfmodel.TrainQuick(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.5, [][2]int{{1024, 768}}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := items[0].Data
+	var gpu, pps float64
+	for i := 0; i < b.N; i++ {
+		simd, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeSIMD, Spec: spec, VirtualOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeGPU, Spec: spec, VirtualOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModePPS, Spec: spec, Model: model, VirtualOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpu, pps = simd.TotalNs/g.TotalNs, simd.TotalNs/p.TotalNs
+	}
+	b.ReportMetric(gpu, "gpuVsSimd")
+	b.ReportMetric(pps, "ppsVsSimd")
+}
+
+// Extension: cross-image batch pipelining (internal/batch).
+func BenchmarkExtension_BatchPipelining(b *testing.B) {
+	ms := models(b)
+	spec := platform.GTX560()
+	var stream [][]byte
+	for i := 0; i < 8; i++ {
+		items, err := imagegen.SizeSweep(jfif.Sub422, 0.4, [][2]int{{800, 600}}, int64(700+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream = append(stream, items[0].Data)
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := hetjpeg.DecodeBatch(stream, hetjpeg.BatchOptions{Spec: spec, Model: ms[spec.Name]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.Gain()
+	}
+	b.ReportMetric(gain, "batchGain")
+}
+
+// Extension: parallel Huffman decoding across restart intervals lifts
+// the Amdahl ceiling of Figure 11. Reported: the new attainable speedup
+// bound if entropy decoding parallelized across 4 cores (vs 1).
+func BenchmarkExtension_RestartParallelAmdahl(b *testing.B) {
+	spec := platform.GTX680()
+	img := imagegen.Generate(imagegen.Scene{Seed: 88, Detail: 0.6}, 1600, 1200)
+	data, err := hetjpeg.Encode(img, hetjpeg.EncodeOptions{Quality: 85, Subsampling: jfif.Sub422, RestartInterval: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bound1, bound4 float64
+	for i := 0; i < b.N; i++ {
+		simd, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeSIMD, Spec: spec, VirtualOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bound1 = simd.TotalNs / simd.HuffNs
+		// With restart-parallel entropy decoding across the 4 CPU cores
+		// (0.85 parallel efficiency), the sequential floor shrinks.
+		bound4 = simd.TotalNs / (simd.HuffNs / (4 * 0.85))
+	}
+	b.ReportMetric(bound1, "maxSpeedup-1core")
+	b.ReportMetric(bound4, "maxSpeedup-4core")
+}

@@ -1,0 +1,113 @@
+// Command jpegdec decodes a baseline JPEG file with any of the six
+// decoder modes on any simulated platform, writes the result as PNG, and
+// reports the virtual schedule.
+//
+// Usage:
+//
+//	jpegdec -in photo.jpg -out photo.png -mode pps -platform "GTX 560"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+
+	"hetjpeg"
+	"hetjpeg/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jpegdec: ")
+
+	in := flag.String("in", "", "input JPEG file (required)")
+	out := flag.String("out", "", "output PNG file (optional)")
+	modeName := flag.String("mode", "pps", "sequential|simd|gpu|pipeline|sps|pps")
+	platformName := flag.String("platform", "GTX 560", `"GT 430", "GTX 560" or "GTX 680"`)
+	modelPath := flag.String("model", "", "performance model JSON (default: train in-process)")
+	chunk := flag.Int("chunk", 0, "override pipelining chunk size in MCU rows")
+	split := flag.Bool("split-kernels", false, "disable Section 4.4 kernel merging")
+	report := flag.Bool("report", true, "print the virtual schedule breakdown")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := hetjpeg.PlatformByName(*platformName)
+	if spec == nil {
+		log.Fatalf("unknown platform %q", *platformName)
+	}
+	var mode core.Mode
+	found := false
+	for _, m := range hetjpeg.AllModes() {
+		if m.String() == *modeName {
+			mode, found = m, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	var model *hetjpeg.Model
+	if mode == hetjpeg.ModeSPS || mode == hetjpeg.ModePPS {
+		if *modelPath != "" {
+			model, err = hetjpeg.LoadModel(*modelPath)
+		} else {
+			log.Printf("training performance model for %s (use -model to reuse a saved one)", spec.Name)
+			model, err = hetjpeg.Train(spec)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := hetjpeg.Decode(data, hetjpeg.Options{
+		Mode:         mode,
+		Spec:         spec,
+		Model:        model,
+		ChunkRows:    *chunk,
+		SplitKernels: *split,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("decoded %dx%d (%s) with %s on %s\n",
+		res.Image.W, res.Image.H, res.Frame.Sub, mode, spec)
+	fmt.Printf("virtual time: %.2f ms (Huffman %.2f ms, %.0f%% of schedule)\n",
+		res.TotalNs/1e6, res.HuffNs/1e6, 100*res.HuffNs/res.TotalNs)
+	fmt.Printf("split: %d MCU rows on GPU, %d on CPU, %d chunk(s)",
+		res.Stats.GPUMCURows, res.Stats.CPUMCURows, res.Stats.Chunks)
+	if res.Stats.Repartitioned {
+		fmt.Printf(" (re-partitioned by %+d rows)", res.Stats.RepartitionDeltaRows)
+	}
+	fmt.Println()
+	if *report {
+		for _, bd := range res.Timeline.SortedBreakdown() {
+			fmt.Printf("  %-16s %10.3f ms\n", bd.Kind, bd.Total/1e6)
+		}
+	}
+	if *gantt {
+		fmt.Print(res.Timeline.Gantt(100))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := png.Encode(f, hetjpeg.ToStdImage(res.Image)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

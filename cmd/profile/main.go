@@ -1,0 +1,57 @@
+// Command profile runs the offline profiling step of Section 5.1 for one
+// simulated platform: it builds the training corpora, profiles every
+// image, fits the polynomial performance model (AIC-selected degree,
+// Horner form) and the pipelining chunk size (Section 4.5), and writes
+// the model as JSON for later decodes.
+//
+// Usage:
+//
+//	profile -platform "GTX 680" -out gtx680.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hetjpeg"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profile: ")
+
+	platformName := flag.String("platform", "GTX 560", `"GT 430", "GTX 560" or "GTX 680"`)
+	out := flag.String("out", "", "output model JSON path (required)")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec := hetjpeg.PlatformByName(*platformName)
+	if spec == nil {
+		log.Fatalf("unknown platform %q", *platformName)
+	}
+
+	start := time.Now()
+	model, err := perfmodel.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s in %v\n", spec, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("chunk size: %d MCU rows\n", model.ChunkRows)
+	for _, sub := range []jfif.Subsampling{jfif.Sub422, jfif.Sub444, jfif.Sub420} {
+		if sm := model.ForSub(sub); sm != nil {
+			fmt.Printf("%s: Huffman poly degree %d, PCPU degree %d, PGPU degree %d\n",
+				sub, sm.HuffPerPixel.Degree(), sm.PCPU.Deg, sm.PGPU.Deg)
+		}
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

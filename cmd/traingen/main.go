@@ -1,0 +1,66 @@
+// Command traingen writes the synthetic training or test corpus to disk
+// as JPEG files (the stand-in for the paper's cropped photo corpora).
+//
+// Usage:
+//
+//	traingen -kind test -sub 422 -outdir ./corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traingen: ")
+
+	kind := flag.String("kind", "train", "train|test")
+	subName := flag.String("sub", "422", "422|444|420")
+	outdir := flag.String("outdir", "corpus", "output directory")
+	flag.Parse()
+
+	var sub jfif.Subsampling
+	switch *subName {
+	case "422":
+		sub = jfif.Sub422
+	case "444":
+		sub = jfif.Sub444
+	case "420":
+		sub = jfif.Sub420
+	default:
+		log.Fatalf("unknown subsampling %q", *subName)
+	}
+	var opts imagegen.CorpusOptions
+	switch *kind {
+	case "train":
+		opts = imagegen.DefaultTraining(sub)
+	case "test":
+		opts = imagegen.DefaultTest(sub)
+	default:
+		log.Fatalf("unknown corpus kind %q", *kind)
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	items, err := imagegen.Build(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bytes int
+	for _, it := range items {
+		path := filepath.Join(*outdir, it.Name+".jpg")
+		if err := os.WriteFile(path, it.Data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		bytes += len(it.Data)
+	}
+	fmt.Printf("wrote %d images (%.1f MB) to %s\n", len(items), float64(bytes)/1e6, *outdir)
+}

@@ -1,0 +1,74 @@
+// Tuning: the Section 4.5 chunk-size profiling step, run standalone. For
+// a set of large images, pipelined GPU execution is simulated for chunk
+// sizes from the full image height down to a single MCU row; each
+// image's best size is kept, and the final choice is the largest size on
+// the best list (small chunks starve the device).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetjpeg"
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := hetjpeg.PlatformByName("GTX 560")
+	sizes := [][2]int{{2048, 1536}, {2560, 1920}, {3200, 2400}}
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, sizes, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	candidates := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192}
+	fmt.Printf("chunk-size sweep on %s (pipelined GPU, virtual time)\n\n", spec)
+	fmt.Printf("%-16s", "image")
+	for _, c := range candidates {
+		fmt.Printf("%8d", c)
+	}
+	fmt.Println("   best")
+
+	var profiles []*perfmodel.ItemProfile
+	for _, it := range items {
+		p, err := perfmodel.SummarizeItem(it)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+		fmt.Printf("%-16s", fmt.Sprintf("%dx%d", it.W, it.H))
+		bestNs, bestC := 0.0, 0
+		row := make([]float64, len(candidates))
+		for i, c := range candidates {
+			if c > p.MCURows {
+				row[i] = -1
+				continue
+			}
+			res, err := hetjpeg.Decode(it.Data, hetjpeg.Options{
+				Mode: hetjpeg.ModePipelinedGPU, Spec: spec, ChunkRows: c, VirtualOnly: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[i] = res.TotalNs
+			if bestC == 0 || res.TotalNs < bestNs {
+				bestNs, bestC = res.TotalNs, c
+			}
+		}
+		for _, ns := range row {
+			if ns < 0 {
+				fmt.Printf("%8s", "-")
+			} else {
+				fmt.Printf("%8.1f", ns/1e6)
+			}
+		}
+		fmt.Printf("   %d rows\n", bestC)
+	}
+
+	final := perfmodel.SelectChunkRows(spec, profiles, candidates)
+	fmt.Printf("\nselected chunk size (largest of the per-image bests): %d MCU rows\n", final)
+}

@@ -1,0 +1,125 @@
+// Webserver: the browser-side story of the paper's introduction, turned
+// inside out — an image service that decodes uploaded JPEGs with the
+// heterogeneous decoder and reports its scheduling decisions. POST a
+// JPEG to /decode to get the decoded dimensions, the CPU/GPU split and
+// the virtual schedule; GET /platforms lists the simulated machines.
+//
+//	go run ./examples/webserver -addr :8080 &
+//	curl -s --data-binary @photo.jpg localhost:8080/decode?mode=pps | jq
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"hetjpeg"
+	"hetjpeg/internal/core"
+)
+
+type server struct {
+	spec  *hetjpeg.Platform
+	model *hetjpeg.Model
+}
+
+type decodeReply struct {
+	Width         int     `json:"width,omitempty"`
+	Height        int     `json:"height,omitempty"`
+	Mode          string  `json:"mode"`
+	Platform      string  `json:"platform"`
+	VirtualMs     float64 `json:"virtualMs"`
+	HuffmanMs     float64 `json:"huffmanMs"`
+	GPUMCURows    int     `json:"gpuMcuRows"`
+	CPUMCURows    int     `json:"cpuMcuRows"`
+	Chunks        int     `json:"chunks"`
+	Repartitioned bool    `json:"repartitioned"`
+	WallMs        float64 `json:"wallMs"`
+	Error         string  `json:"error,omitempty"`
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JPEG body", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mode := hetjpeg.ModePPS
+	if q := r.URL.Query().Get("mode"); q != "" {
+		found := false
+		for _, m := range hetjpeg.AllModes() {
+			if m.String() == q {
+				mode, found = m, true
+			}
+		}
+		if !found {
+			http.Error(w, fmt.Sprintf("unknown mode %q", q), http.StatusBadRequest)
+			return
+		}
+	}
+	start := time.Now()
+	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model})
+	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name}
+	if err != nil {
+		reply.Error = err.Error()
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	} else {
+		reply.Width, reply.Height = res.Image.W, res.Image.H
+		reply.VirtualMs = res.TotalNs / 1e6
+		reply.HuffmanMs = res.HuffNs / 1e6
+		reply.GPUMCURows = res.Stats.GPUMCURows
+		reply.CPUMCURows = res.Stats.CPUMCURows
+		reply.Chunks = res.Stats.Chunks
+		reply.Repartitioned = res.Stats.Repartitioned
+	}
+	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func (s *server) platforms(w http.ResponseWriter, _ *http.Request) {
+	type p struct {
+		Name, CPU, GPU string
+		Modes          []string
+	}
+	var out []p
+	var modes []string
+	for _, m := range core.AllModes() {
+		modes = append(modes, m.String())
+	}
+	for _, spec := range hetjpeg.Platforms() {
+		out = append(out, p{Name: spec.Name, CPU: spec.CPUModel, GPU: spec.GPUModel, Modes: modes})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	platformName := flag.String("platform", "GTX 560", "simulated machine")
+	flag.Parse()
+
+	spec := hetjpeg.PlatformByName(*platformName)
+	if spec == nil {
+		log.Fatalf("unknown platform %q", *platformName)
+	}
+	log.Printf("training performance model for %s...", spec.Name)
+	model, err := hetjpeg.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{spec: spec, model: model}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decode", s.decode)
+	mux.HandleFunc("/platforms", s.platforms)
+	log.Printf("decoding as %s on %s", spec, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

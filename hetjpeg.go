@@ -1,0 +1,154 @@
+// Package hetjpeg is a heterogeneous JPEG decoder: a from-scratch
+// reproduction of "Dynamic Partitioning-based JPEG Decompression on
+// Heterogeneous Multicore Architectures" (Sodsong et al., PMAM/PPoPP
+// 2014) in pure Go.
+//
+// The library contains a complete baseline JPEG codec (encoder and
+// decoder, 4:4:4 / 4:2:2 / 4:2:0 / grayscale), a simulated
+// OpenCL-programmable GPU with the paper's kernels, an offline-profiled
+// performance model (multivariate polynomial regression over image
+// width, height and entropy density), and the paper's dynamic
+// partitioning schemes (SPS and PPS) that split each image between a CPU
+// and the device so both finish together.
+//
+// Quick start:
+//
+//	spec := hetjpeg.PlatformByName("GTX 560")
+//	model, _ := hetjpeg.Train(spec) // once per platform (offline step)
+//	res, _ := hetjpeg.Decode(jpegBytes, hetjpeg.Options{
+//		Mode:  hetjpeg.ModePPS,
+//		Spec:  spec,
+//		Model: model,
+//	})
+//	img := res.Image // interleaved RGB
+//
+// Every mode produces bit-identical pixels; modes differ only in
+// scheduling, which the returned virtual timeline records. See DESIGN.md
+// for the substitution of a simulated device for physical GPUs.
+package hetjpeg
+
+import (
+	"image"
+
+	"hetjpeg/internal/batch"
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/perfmodel"
+	"hetjpeg/internal/platform"
+)
+
+// Mode selects the execution strategy.
+type Mode = core.Mode
+
+// The six decoder modes of the paper's evaluation.
+const (
+	ModeSequential   = core.ModeSequential
+	ModeSIMD         = core.ModeSIMD
+	ModeGPU          = core.ModeGPU
+	ModePipelinedGPU = core.ModePipelinedGPU
+	ModeSPS          = core.ModeSPS
+	ModePPS          = core.ModePPS
+)
+
+// AllModes lists the modes in the paper's order.
+func AllModes() []Mode { return core.AllModes() }
+
+// Platform describes one simulated CPU-GPU machine (Table 1).
+type Platform = platform.Spec
+
+// Platforms returns the three machines of the paper's evaluation.
+func Platforms() []*Platform { return platform.All() }
+
+// PlatformByName returns a machine by its Table 1 name ("GT 430",
+// "GTX 560", "GTX 680"), or nil.
+func PlatformByName(name string) *Platform { return platform.ByName(name) }
+
+// Model is a fitted per-platform performance model.
+type Model = perfmodel.Model
+
+// Train runs the offline profiling step for a platform: it generates the
+// training corpus, profiles every image, fits the regression model and
+// selects the pipelining chunk size. Results are cached per platform
+// within the process.
+func Train(spec *Platform) (*Model, error) { return perfmodel.Default(spec) }
+
+// LoadModel reads a model previously saved with Model.Save.
+func LoadModel(path string) (*Model, error) { return perfmodel.Load(path) }
+
+// Options configures a decode. Spec is required; Model is required for
+// ModeSPS and ModePPS.
+type Options = core.Options
+
+// Result is a finished decode: the RGB image, scheduling statistics and
+// the virtual timeline of the schedule.
+type Result = core.Result
+
+// Image is an interleaved 8-bit RGB image.
+type Image = jpegcodec.RGBImage
+
+// Decode decompresses a baseline JPEG stream under the given mode.
+func Decode(data []byte, opts Options) (*Result, error) { return core.Decode(data, opts) }
+
+// DecodeRGB is the convenience path: a plain single-threaded decode with
+// no platform simulation.
+func DecodeRGB(data []byte) (*Image, error) { return jpegcodec.DecodeScalar(data) }
+
+// Subsampling selects the encoder's chroma layout.
+type Subsampling = jfif.Subsampling
+
+// Chroma subsampling layouts supported end to end.
+const (
+	Sub444 = jfif.Sub444
+	Sub422 = jfif.Sub422
+	Sub420 = jfif.Sub420
+)
+
+// EncodeOptions configures the baseline encoder.
+type EncodeOptions = jpegcodec.EncodeOptions
+
+// Encode compresses an RGB image into a baseline JPEG stream.
+func Encode(img *Image, opts EncodeOptions) ([]byte, error) { return jpegcodec.Encode(img, opts) }
+
+// NewImage allocates a w x h RGB image.
+func NewImage(w, h int) *Image { return jpegcodec.NewRGBImage(w, h) }
+
+// ToStdImage converts an Image to the standard library's RGBA type.
+func ToStdImage(im *Image) *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		src := im.Pix[y*im.W*3 : (y+1)*im.W*3]
+		dst := out.Pix[y*out.Stride : y*out.Stride+im.W*4]
+		for x := 0; x < im.W; x++ {
+			dst[x*4], dst[x*4+1], dst[x*4+2], dst[x*4+3] = src[x*3], src[x*3+1], src[x*3+2], 255
+		}
+	}
+	return out
+}
+
+// FromStdImage converts any standard image to an Image.
+func FromStdImage(src image.Image) *Image {
+	b := src.Bounds()
+	out := jpegcodec.NewRGBImage(b.Dx(), b.Dy())
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			r, g, bb, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.Set(x, y, byte(r>>8), byte(g>>8), byte(bb>>8))
+		}
+	}
+	return out
+}
+
+// BatchOptions configures DecodeBatch.
+type BatchOptions = batch.Options
+
+// BatchResult is the outcome of DecodeBatch.
+type BatchResult = batch.Result
+
+// DecodeBatch decodes a stream of images, overlapping each image's
+// CPU-side entropy decoding with the previous image's device work — the
+// gallery/browser workload the paper's introduction motivates. Per-image
+// scheduling uses PPS when a model is provided.
+func DecodeBatch(datas [][]byte, opts BatchOptions) (*BatchResult, error) {
+	return batch.Decode(datas, opts)
+}

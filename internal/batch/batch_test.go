@@ -1,0 +1,103 @@
+package batch
+
+import (
+	"testing"
+
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/perfmodel"
+	"hetjpeg/internal/platform"
+)
+
+func corpus(t testing.TB, n int) [][]byte {
+	t.Helper()
+	sizes := [][2]int{{320, 240}, {512, 384}, {640, 480}, {800, 600}}
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		wh := sizes[i%len(sizes)]
+		items, err := imagegen.SizeSweep(jfif.Sub422, 0.3+0.1*float64(i%5), [][2]int{wh}, int64(300+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, items[0].Data)
+	}
+	return out
+}
+
+func TestBatchOverlapBeatsSerial(t *testing.T) {
+	spec := platform.GTX560()
+	model, err := perfmodel.TrainQuick(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datas := corpus(t, 6)
+	res, err := Decode(datas, Options{Spec: spec, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Images) != 6 {
+		t.Fatalf("%d results", len(res.Images))
+	}
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatalf("merged timeline invalid: %v", err)
+	}
+	gain := res.Gain()
+	t.Logf("serial %.2f ms, pipelined %.2f ms, gain %.3fx", res.SerialNs/1e6, res.PipelinedNs/1e6, gain)
+	if gain < 1.0 {
+		t.Errorf("batch pipelining made things slower: %.3f", gain)
+	}
+	if res.PipelinedNs > res.SerialNs {
+		t.Error("merged makespan exceeds serial sum")
+	}
+}
+
+func TestBatchPixelCorrectness(t *testing.T) {
+	spec := platform.GTX680()
+	datas := corpus(t, 3)
+	res, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ir := range res.Images {
+		ref, err := core.Decode(datas[i], core.Options{Mode: core.ModeSequential, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ir.Res.Image.Pix) != len(ref.Image.Pix) {
+			t.Fatalf("image %d: size mismatch", i)
+		}
+		for j := range ref.Image.Pix {
+			if ir.Res.Image.Pix[j] != ref.Image.Pix[j] {
+				t.Fatalf("image %d differs at byte %d", i, j)
+			}
+		}
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if _, err := Decode(nil, Options{}); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	spec := platform.GT430()
+	bad := [][]byte{{0x00, 0x01}}
+	if _, err := Decode(bad, Options{Spec: spec, Mode: core.ModeGPU, ModeSet: true}); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}
+
+func TestBatchGainGrowsWithCount(t *testing.T) {
+	// More images amortize the non-overlapped head and tail.
+	spec := platform.GTX560()
+	two, err := Decode(corpus(t, 2), Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Decode(corpus(t, 8), Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.Gain() < two.Gain()-0.02 {
+		t.Errorf("gain should not shrink with batch size: 2->%.3f, 8->%.3f", two.Gain(), eight.Gain())
+	}
+}

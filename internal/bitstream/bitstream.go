@@ -1,0 +1,229 @@
+// Package bitstream provides MSB-first bit readers and writers with the
+// byte-stuffing convention of the JPEG entropy-coded segment: an 0xFF data
+// byte is followed by a stuffed 0x00 on the wire, and any 0xFF followed by
+// a non-zero byte terminates the segment (a marker).
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when the entropy-coded segment ends before
+// the requested bits are available.
+var ErrUnexpectedEOF = errors.New("bitstream: unexpected end of entropy data")
+
+// ErrMarker is returned by Reader methods when a marker (0xFF followed by a
+// non-zero, non-stuffing byte) interrupts the entropy-coded segment.
+type ErrMarker struct {
+	Marker byte // the marker code, e.g. 0xD9 for EOI
+}
+
+func (e ErrMarker) Error() string {
+	return fmt.Sprintf("bitstream: hit marker 0xFF%02X inside entropy data", e.Marker)
+}
+
+// Reader reads bits MSB-first from a JPEG entropy-coded segment, removing
+// byte stuffing. It keeps the position of the last consumed byte so callers
+// can account for entropy-coded data size per region.
+type Reader struct {
+	data   []byte
+	pos    int    // next byte index in data
+	acc    uint64 // bit accumulator, MSB-aligned in the low `bits` bits
+	bits   uint   // number of valid bits in acc
+	marker byte   // pending marker code (0 if none)
+}
+
+// NewReader returns a Reader over the entropy-coded bytes data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Reset re-initializes the reader over new data, retaining no state.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.acc = 0
+	r.bits = 0
+	r.marker = 0
+}
+
+// BytePos returns the number of input bytes consumed so far, including
+// stuffed bytes. Bits buffered in the accumulator count as consumed.
+func (r *Reader) BytePos() int { return r.pos }
+
+// BitsBuffered returns the number of bits currently buffered (useful for
+// precise entropy-size accounting: consumed bits = 8*BytePos - BitsBuffered,
+// approximately, ignoring stuffing).
+func (r *Reader) BitsBuffered() uint { return r.bits }
+
+// fill loads bytes into the accumulator until at least n bits are buffered
+// or input is exhausted/interrupted by a marker.
+func (r *Reader) fill(n uint) error {
+	for r.bits < n {
+		if r.marker != 0 {
+			// After a marker, JPEG decoders see an endless stream of
+			// zero bits (the spec's handling of truncated data).
+			r.acc = r.acc << 8
+			r.bits += 8
+			continue
+		}
+		if r.pos >= len(r.data) {
+			return ErrUnexpectedEOF
+		}
+		b := r.data[r.pos]
+		r.pos++
+		if b == 0xFF {
+			if r.pos >= len(r.data) {
+				return ErrUnexpectedEOF
+			}
+			nxt := r.data[r.pos]
+			if nxt == 0x00 {
+				r.pos++ // stuffed byte
+			} else {
+				// Marker: stop consuming, remember it, and pad with zeros.
+				r.marker = nxt
+				r.pos-- // leave 0xFF unconsumed for the caller's accounting
+				r.acc = r.acc << 8
+				r.bits += 8
+				continue
+			}
+		}
+		r.acc = r.acc<<8 | uint64(b)
+		r.bits += 8
+	}
+	return nil
+}
+
+// Peek returns the next n bits (1..24) without consuming them. Missing bits
+// past a marker read as zero, matching JPEG decoder convention.
+func (r *Reader) Peek(n uint) (uint32, error) {
+	if err := r.fill(n); err != nil {
+		return 0, err
+	}
+	return uint32(r.acc>>(r.bits-n)) & ((1 << n) - 1), nil
+}
+
+// Consume discards n buffered bits. It must follow a successful Peek of at
+// least n bits.
+func (r *Reader) Consume(n uint) {
+	r.bits -= n
+	r.acc &= (1 << r.bits) - 1
+}
+
+// ReadBits reads and consumes n bits (0..24), MSB first.
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	v, err := r.Peek(n)
+	if err != nil {
+		return 0, err
+	}
+	r.Consume(n)
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint32, error) { return r.ReadBits(1) }
+
+// Marker reports the marker code that interrupted the stream, or 0.
+func (r *Reader) Marker() byte { return r.marker }
+
+// AlignToByte discards buffered bits so the next read starts at a byte
+// boundary (used before restart markers).
+func (r *Reader) AlignToByte() {
+	drop := r.bits % 8
+	r.Consume(drop)
+}
+
+// SkipRestartMarker consumes an RSTn marker at the current (byte-aligned)
+// position and resets marker state. Returns the marker code consumed.
+func (r *Reader) SkipRestartMarker() (byte, error) {
+	r.AlignToByte()
+	// Drop whole buffered bytes; they belong before the marker.
+	for r.bits >= 8 {
+		r.Consume(8)
+	}
+	if r.marker != 0 {
+		m := r.marker
+		if m < 0xD0 || m > 0xD7 {
+			return 0, ErrMarker{Marker: m}
+		}
+		r.marker = 0
+		r.pos += 2 // consume FF and marker byte
+		return m, nil
+	}
+	if r.pos+1 >= len(r.data) || r.data[r.pos] != 0xFF {
+		return 0, ErrUnexpectedEOF
+	}
+	m := r.data[r.pos+1]
+	if m < 0xD0 || m > 0xD7 {
+		return 0, ErrMarker{Marker: m}
+	}
+	r.pos += 2
+	return m, nil
+}
+
+// Writer writes bits MSB-first, inserting JPEG byte stuffing after each
+// 0xFF data byte.
+type Writer struct {
+	buf  []byte
+	acc  uint32
+	bits uint
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low n bits of v (n ≤ 24), MSB first.
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n == 0 {
+		return
+	}
+	w.acc = w.acc<<n | (v & ((1 << n) - 1))
+	w.bits += n
+	for w.bits >= 8 {
+		b := byte(w.acc >> (w.bits - 8))
+		w.buf = append(w.buf, b)
+		if b == 0xFF {
+			w.buf = append(w.buf, 0x00)
+		}
+		w.bits -= 8
+		w.acc &= (1 << w.bits) - 1
+	}
+}
+
+// Flush pads the final partial byte with 1-bits (JPEG convention) and
+// returns the encoded segment. The Writer remains usable.
+func (w *Writer) Flush() []byte {
+	if w.bits > 0 {
+		pad := 8 - w.bits
+		w.WriteBits((1<<pad)-1, pad)
+	}
+	return w.buf
+}
+
+// WriteRestartMarker pads the current byte with 1-bits and appends the
+// RSTn marker (n in 0..7) unstuffed, as required between restart
+// intervals.
+func (w *Writer) WriteRestartMarker(n int) {
+	if w.bits > 0 {
+		pad := 8 - w.bits
+		w.WriteBits((1<<pad)-1, pad)
+	}
+	w.buf = append(w.buf, 0xFF, 0xD0+byte(n&7))
+}
+
+// Len returns the number of bytes emitted so far (excluding buffered bits).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the total number of payload bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.bits) }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.bits = 0
+}

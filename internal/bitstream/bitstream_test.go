@@ -1,0 +1,185 @@
+package bitstream
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	vals := []struct {
+		v uint32
+		n uint
+	}{
+		{0x1, 1}, {0x0, 1}, {0x3, 2}, {0xFF, 8}, {0x155, 9},
+		{0xFFFFFF, 24}, {0, 24}, {0xABC, 12}, {0x1, 3},
+	}
+	for _, x := range vals {
+		w.WriteBits(x.v, x.n)
+	}
+	r := NewReader(w.Flush())
+	for i, x := range vals {
+		got, err := r.ReadBits(x.n)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != x.v {
+			t.Fatalf("read %d: got %#x want %#x", i, got, x.v)
+		}
+	}
+}
+
+func TestByteStuffing(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0x12, 8)
+	out := w.Flush()
+	want := []byte{0xFF, 0x00, 0xFF, 0x00, 0x12}
+	if len(out) != len(want) {
+		t.Fatalf("len=%d want %d (%x)", len(out), len(want), out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, out[i], want[i])
+		}
+	}
+	r := NewReader(out)
+	for i := 0; i < 2; i++ {
+		v, err := r.ReadBits(8)
+		if err != nil || v != 0xFF {
+			t.Fatalf("destuff read %d: v=%#x err=%v", i, v, err)
+		}
+	}
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0x12 {
+		t.Fatalf("final read: v=%#x err=%v", v, err)
+	}
+}
+
+func TestMarkerStopsStream(t *testing.T) {
+	// One data byte then an EOI marker: reads past the end must return
+	// zero bits and record the marker.
+	data := []byte{0xA5, 0xFF, 0xD9}
+	r := NewReader(data)
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0xA5 {
+		t.Fatalf("first byte: v=%#x err=%v", v, err)
+	}
+	v, err = r.ReadBits(8)
+	if err != nil {
+		t.Fatalf("post-marker read should zero-fill, got err=%v", err)
+	}
+	if v != 0 {
+		t.Fatalf("post-marker bits should be zero, got %#x", v)
+	}
+	if r.Marker() != 0xD9 {
+		t.Fatalf("marker=%#x want 0xD9", r.Marker())
+	}
+}
+
+func TestUnexpectedEOF(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(16); !errors.Is(err, ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestRestartMarkerSkip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0x5, 3)
+	w.WriteRestartMarker(2)
+	w.WriteBits(0xA7, 8)
+	data := w.Flush()
+
+	r := NewReader(data)
+	if v, _ := r.ReadBits(3); v != 0x5 {
+		t.Fatalf("pre-restart bits wrong: %#x", v)
+	}
+	m, err := r.SkipRestartMarker()
+	if err != nil {
+		t.Fatalf("SkipRestartMarker: %v", err)
+	}
+	if m != 0xD2 {
+		t.Fatalf("marker=%#x want 0xD2", m)
+	}
+	if v, _ := r.ReadBits(8); v != 0xA7 {
+		t.Fatalf("post-restart byte wrong: %#x", v)
+	}
+}
+
+func TestQuickRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		type rec struct {
+			v uint32
+			n uint
+		}
+		recs := make([]rec, n)
+		w := NewWriter()
+		for i := range recs {
+			bits := uint(1 + rng.Intn(24))
+			v := rng.Uint32() & ((1 << bits) - 1)
+			recs[i] = rec{v, bits}
+			w.WriteBits(v, bits)
+		}
+		r := NewReader(w.Flush())
+		for _, rc := range recs {
+			v, err := r.ReadBits(rc.n)
+			if err != nil || v != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekConsume(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011001110001111, 16)
+	r := NewReader(w.Flush())
+	v, err := r.Peek(5)
+	if err != nil || v != 0b10110 {
+		t.Fatalf("peek: v=%#b err=%v", v, err)
+	}
+	// Peek must not consume.
+	v2, _ := r.Peek(5)
+	if v2 != v {
+		t.Fatalf("second peek differs: %#b vs %#b", v2, v)
+	}
+	r.Consume(5)
+	v3, _ := r.ReadBits(11)
+	if v3 != 0b01110001111 {
+		t.Fatalf("after consume: %#b", v3)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xAB, 8)
+	w.Flush()
+	w.Reset()
+	w.WriteBits(0xCD, 8)
+	out := w.Flush()
+	if len(out) != 1 || out[0] != 0xCD {
+		t.Fatalf("after reset: %x", out)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1, 3)
+	if w.BitLen() != 3 {
+		t.Fatalf("BitLen=%d want 3", w.BitLen())
+	}
+	w.WriteBits(0, 13)
+	if w.BitLen() != 16 {
+		t.Fatalf("BitLen=%d want 16", w.BitLen())
+	}
+}

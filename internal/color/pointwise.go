@@ -1,0 +1,62 @@
+package color
+
+// Point-wise upsampling accessors used by the simulated GPU kernels: a
+// work-item computes individual output samples, so it needs the value of
+// the triangle filter at one position. These must remain bit-exact with
+// the row-oriented functions (enforced by tests).
+
+// UpsampleH2V1At returns output sample x (0 <= x < 2*cw) of the fancy
+// h2v1 upsampling of row (length cw).
+func UpsampleH2V1At(row []byte, cw, x int) byte {
+	if cw == 1 {
+		return row[0]
+	}
+	i := x / 2
+	if x%2 == 0 {
+		if i == 0 {
+			return row[0]
+		}
+		return byte((int(row[i])*3 + int(row[i-1]) + 1) / 4)
+	}
+	if i == cw-1 {
+		return row[cw-1]
+	}
+	return byte((int(row[i])*3 + int(row[i+1]) + 2) / 4)
+}
+
+// UpsampleH2V2At returns the output chroma sample at full-resolution
+// coordinates (x, y) of the fancy h2v2 upsampling of a cpw-wide, ch-tall
+// plane (plane stride = cpw). Matches upsampling of whole rows by the
+// decoder's h2v2 path.
+func UpsampleH2V2At(plane []byte, cpw, ch, x, y int) byte {
+	near := y / 2
+	var far int
+	if y%2 == 0 {
+		far = near - 1
+	} else {
+		far = near + 1
+	}
+	if far < 0 {
+		far = 0
+	}
+	if far >= ch {
+		far = ch - 1
+	}
+	blend := func(i int) int {
+		return 3*int(plane[near*cpw+i]) + int(plane[far*cpw+i])
+	}
+	i := x / 2
+	if cpw == 1 {
+		return byte((4*blend(0) + 8) >> 4)
+	}
+	if x%2 == 0 {
+		if i == 0 {
+			return byte((4*blend(0) + 8) >> 4)
+		}
+		return byte((3*blend(i) + blend(i-1) + 8) >> 4)
+	}
+	if i == cpw-1 {
+		return byte((4*blend(cpw-1) + 8) >> 4)
+	}
+	return byte((3*blend(i) + blend(i+1) + 7) >> 4)
+}

@@ -1,0 +1,301 @@
+// Package core implements the heterogeneous JPEG decoder of the paper:
+// six execution modes (sequential, SIMD, GPU, pipelined GPU, SPS, PPS)
+// over the re-engineered whole-image-buffer codec, the simulated OpenCL
+// device, the fitted performance model and the dynamic partitioning
+// schemes. Every mode produces bit-identical pixels; modes differ in how
+// work is scheduled, which the per-decode virtual timeline records.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/kernels"
+	"hetjpeg/internal/perfmodel"
+	"hetjpeg/internal/platform"
+	"hetjpeg/internal/sim"
+)
+
+// Mode selects the execution strategy (the six decoders of Section 6).
+type Mode int
+
+const (
+	// ModeSequential is the libjpeg-style single-threaded scalar decoder.
+	ModeSequential Mode = iota
+	// ModeSIMD is the libjpeg-turbo analog: same schedule as sequential
+	// with the fast CPU parallel phase. It is the paper's baseline.
+	ModeSIMD
+	// ModeGPU runs the whole parallel phase on the device after full
+	// Huffman decoding (Figure 5a).
+	ModeGPU
+	// ModePipelinedGPU overlaps chunked Huffman decoding with device
+	// execution (Figure 5b, Section 4.5).
+	ModePipelinedGPU
+	// ModeSPS is the simple partitioning scheme (Section 5.2.1).
+	ModeSPS
+	// ModePPS is the pipelined partitioning scheme with re-partitioning
+	// (Section 5.2.2).
+	ModePPS
+)
+
+var modeNames = map[Mode]string{
+	ModeSequential:   "sequential",
+	ModeSIMD:         "simd",
+	ModeGPU:          "gpu",
+	ModePipelinedGPU: "pipeline",
+	ModeSPS:          "sps",
+	ModePPS:          "pps",
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if n, ok := modeNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// AllModes lists the six modes in the paper's order.
+func AllModes() []Mode {
+	return []Mode{ModeSequential, ModeSIMD, ModeGPU, ModePipelinedGPU, ModeSPS, ModePPS}
+}
+
+// Options configures a decode.
+type Options struct {
+	Mode Mode
+	// Spec is the simulated machine; required.
+	Spec *platform.Spec
+	// Model is the fitted performance model; required for SPS and PPS.
+	Model *perfmodel.Model
+	// ChunkRows overrides the pipelining chunk size (MCU rows).
+	ChunkRows int
+	// SplitKernels disables the Section 4.4 kernel merging (ablation).
+	SplitKernels bool
+	// VirtualOnly skips the real pixel work and fills the timeline from
+	// the analytic cost plan (identical to executed costs; asserted by
+	// tests). The returned Image is zeroed. Large experiment sweeps use
+	// it to evaluate schedules cheaply.
+	VirtualOnly bool
+}
+
+// Stats reports scheduling decisions.
+type Stats struct {
+	MCURows       int
+	GPUMCURows    int // MCU rows processed by the device
+	CPUMCURows    int // MCU rows processed by the CPU tile
+	Chunks        int
+	Repartitioned bool
+	// RepartitionDeltaRows is the signed MCU-row change of the CPU share
+	// made by the Equation (16) re-partitioning step.
+	RepartitionDeltaRows int
+}
+
+// Result is a finished decode.
+type Result struct {
+	Image    *jpegcodec.RGBImage
+	Frame    *jpegcodec.Frame
+	Timeline *sim.Timeline
+	// TotalNs is the virtual makespan of the schedule.
+	TotalNs float64
+	// HuffNs is the total virtual Huffman time (the Amdahl bound's
+	// denominator, Figure 11).
+	HuffNs float64
+	Stats  Stats
+}
+
+// Decode decompresses a baseline JPEG stream under the given mode.
+func Decode(data []byte, opts Options) (*Result, error) {
+	if opts.Spec == nil {
+		return nil, errors.New("core: Options.Spec is required")
+	}
+	f, ed, err := jpegcodec.PrepareDecode(data)
+	if err != nil {
+		return nil, err
+	}
+	// Entropy decoding is strictly sequential (variable-length codes);
+	// every mode performs it on the CPU. Real decode happens up front;
+	// the virtual timeline places the per-row costs according to the
+	// mode's schedule.
+	if err := ed.DecodeAll(); err != nil {
+		return nil, err
+	}
+	st := &decodeState{
+		opts: opts,
+		f:    f,
+		ed:   ed,
+		out:  jpegcodec.NewRGBImage(f.Img.Width, f.Img.Height),
+		d:    f.Img.EntropyDensity(),
+	}
+	st.rowCost = make([]float64, f.MCURows)
+	blocksPerRow := blocksPerMCURow(f)
+	for i, bits := range ed.BitsPerRow {
+		st.rowCost[i] = opts.Spec.HuffmanNs(bits, blocksPerRow)
+	}
+
+	switch opts.Mode {
+	case ModeSequential:
+		err = st.runCPUOnly(false)
+	case ModeSIMD:
+		err = st.runCPUOnly(true)
+	case ModeGPU:
+		err = st.runGPU(false)
+	case ModePipelinedGPU:
+		err = st.runGPU(true)
+	case ModeSPS:
+		err = st.runPartitioned(false)
+	case ModePPS:
+		err = st.runPartitioned(true)
+	default:
+		err = fmt.Errorf("core: unknown mode %v", opts.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.res.Image = st.out
+	st.res.Frame = f
+	st.res.Stats.MCURows = f.MCURows
+	st.res.HuffNs = st.huffTotal()
+	st.res.TotalNs = st.res.Timeline.Makespan()
+	return &st.res, nil
+}
+
+// decodeState carries one decode through its mode runner.
+type decodeState struct {
+	opts Options
+	f    *jpegcodec.Frame
+	ed   *jpegcodec.EntropyDecoder
+	out  *jpegcodec.RGBImage
+	d    float64 // entropy density
+
+	rowCost []float64 // virtual huffman ns per MCU row
+	res     Result
+}
+
+func (st *decodeState) huffTotal() float64 {
+	var s float64
+	for _, c := range st.rowCost {
+		s += c
+	}
+	return s
+}
+
+func (st *decodeState) chunkRows() int {
+	if st.opts.ChunkRows > 0 {
+		return st.opts.ChunkRows
+	}
+	if st.opts.Model != nil && st.opts.Model.ChunkRows > 0 {
+		return st.opts.Model.ChunkRows
+	}
+	return st.opts.Spec.DefaultChunkRows
+}
+
+// blocksPerMCURow counts coefficient blocks per MCU row.
+func blocksPerMCURow(f *jpegcodec.Frame) int {
+	n := 0
+	for _, c := range f.Img.Components {
+		n += c.H * c.V
+	}
+	return n * f.MCUsPerRow
+}
+
+// regionBlocks counts coefficient blocks in MCU rows [m0, m1).
+func regionBlocks(f *jpegcodec.Frame, m0, m1 int) int {
+	n := 0
+	for _, p := range f.Planes {
+		n += (m1 - m0) * p.V * p.BlocksPerRow
+	}
+	return n
+}
+
+// gpuRowBound maps a GPU-side chunk boundary at MCU row m to the pixel
+// row where its color conversion stops. Interior 4:2:0 boundaries shift
+// up one row: that output row's vertical filter needs the next chunk's
+// chroma samples, so it is deferred to the consumer of the boundary (the
+// next chunk or the CPU tile).
+func gpuRowBound(f *jpegcodec.Frame, m int, isEnd bool) int {
+	if m <= 0 {
+		return 0
+	}
+	if m >= f.MCURows {
+		return f.Img.Height
+	}
+	y := m * f.MCUHeight
+	if f.Sub == jfif.Sub420 {
+		y--
+	}
+	_ = isEnd
+	if y > f.Img.Height {
+		y = f.Img.Height
+	}
+	return y
+}
+
+// addHuffTasks appends per-MCU-row Huffman tasks for rows [m0, m1) on the
+// CPU resource and returns the last task (or nil).
+func (st *decodeState) addHuffTasks(tl *sim.Timeline, m0, m1 int) *sim.Task {
+	var last *sim.Task
+	for m := m0; m < m1; m++ {
+		last = tl.Add(sim.ResCPU, sim.KindHuffman, fmt.Sprintf("huff row %d", m), st.rowCost[m])
+	}
+	return last
+}
+
+// addGPUChunkTasks appends dispatch (CPU) and the executed device records
+// (GPU queue) for one chunk. The first device record depends on the
+// dispatch.
+func (st *decodeState) addGPUChunkTasks(tl *sim.Timeline, ck *gpuChunk) {
+	disp := tl.Add(sim.ResCPU, sim.KindDispatch, fmt.Sprintf("dispatch[%d,%d)", ck.m0, ck.m1),
+		st.opts.Spec.DispatchNs(st.f.CoeffBytes(ck.m0, ck.m1)))
+	dep := disp
+	for _, r := range ck.recs {
+		dep = tl.Add(sim.ResGPU, r.Kind, r.Label, r.Ns, dep)
+	}
+}
+
+// gpuChunk is one unit of device work.
+type gpuChunk struct {
+	m0, m1 int
+	y0, y1 int
+	recs   []kernels.CostRecord
+}
+
+// runChunksOnDevice executes the chunks in order on the simulated device,
+// recording their cost records. It runs in a separate goroutine in the
+// partitioned modes so host wall-clock time also overlaps.
+func (st *decodeState) runChunksOnDevice(eng *kernels.Engine, chunks []*gpuChunk) {
+	for _, ck := range chunks {
+		ck.recs = eng.DecodeChunk(ck.m0, ck.m1, ck.y0, ck.y1, st.out)
+	}
+}
+
+// makeChunks slices GPU MCU rows [0, s) into pipeline chunks of size c,
+// assigning 4:2:0-aware pixel-row bounds. yEnd is the pixel row where the
+// GPU region's conversion must stop (the CPU tile owns rows beyond it).
+func (st *decodeState) makeChunks(s, c int, yEnd int) []*gpuChunk {
+	var chunks []*gpuChunk
+	for m0 := 0; m0 < s; m0 += c {
+		m1 := m0 + c
+		if m1 > s {
+			m1 = s
+		}
+		y0 := gpuRowBound(st.f, m0, false)
+		var y1 int
+		if m1 == s {
+			y1 = yEnd
+		} else {
+			y1 = gpuRowBound(st.f, m1, false)
+		}
+		chunks = append(chunks, &gpuChunk{m0: m0, m1: m1, y0: y0, y1: y1})
+	}
+	return chunks
+}
+
+// fillChunkPlans populates chunk cost records from the analytic plan
+// without executing kernels (VirtualOnly decodes).
+func (st *decodeState) fillChunkPlans(chunks []*gpuChunk) {
+	for _, ck := range chunks {
+		ck.recs = kernels.CostPlan(st.opts.Spec, st.f, ck.m0, ck.m1, ck.y0, ck.y1, !st.opts.SplitKernels)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/platform"
+	"hetjpeg/internal/sim"
+)
+
+// cpuTile describes the CPU share of a partitioned decode: MCU rows
+// [s, MCURows) plus the pixel rows it color-converts (which start one row
+// early for 4:2:0, taking over the boundary row the GPU cannot finish).
+type cpuTile struct {
+	s      int // first CPU MCU row
+	yStart int // first pixel row the CPU converts
+}
+
+// newCPUTile computes the tile for a split at MCU row s.
+func (st *decodeState) newCPUTile(s int) cpuTile {
+	return cpuTile{s: s, yStart: gpuRowBound(st.f, s, true)}
+}
+
+// empty reports whether the CPU share is empty.
+func (t cpuTile) empty(f *jpegcodec.Frame) bool { return t.s >= f.MCURows }
+
+// exec runs the tile's real work: IDCT of its MCU rows (plus the one
+// block-row halo above that the 4:2:0 vertical filter needs), then
+// upsampling and color conversion of its pixel rows.
+func (t cpuTile) exec(f *jpegcodec.Frame, out *jpegcodec.RGBImage) {
+	if t.empty(f) {
+		return
+	}
+	for c := range f.Planes {
+		jpegcodec.IDCTRange(f, c, t.s, f.MCURows)
+	}
+	if f.Sub == jfif.Sub420 && t.s > 0 {
+		// Halo: the boundary pixel row 16s-1 reads luma block row 2s-1
+		// and chroma block rows s-1, all inside the GPU's MCU rows.
+		jpegcodec.IDCTBlockRows(f, 0, 2*t.s-1, 2*t.s)
+		for c := 1; c < len(f.Planes); c++ {
+			jpegcodec.IDCTBlockRows(f, c, t.s-1, t.s)
+		}
+	}
+	jpegcodec.ColorConvertRange(f, t.yStart, f.Img.Height, out)
+}
+
+// addTasks appends the tile's virtual stage costs (SIMD path) to the CPU
+// resource: IDCT, upsampling and color conversion as separate tasks so
+// breakdown figures can attribute them.
+func (t cpuTile) addTasks(tl *sim.Timeline, f *jpegcodec.Frame, spec *platform.Spec, simd bool) {
+	if t.empty(f) {
+		return
+	}
+	c := spec.CPUScalar
+	if simd {
+		c = spec.CPUSIMD
+	}
+	blocks := regionBlocks(f, t.s, f.MCURows)
+	if f.Sub == jfif.Sub420 && t.s > 0 {
+		blocks += f.Planes[0].BlocksPerRow + 2*f.Planes[1].BlocksPerRow
+	}
+	rows := f.Img.Height - t.yStart
+	pixels := rows * f.Img.Width
+	tl.Add(sim.ResCPU, sim.KindIDCT, "cpu idct", float64(blocks)*c.IDCTNsPerBlock)
+	if f.Sub == jfif.Sub422 || f.Sub == jfif.Sub420 {
+		tl.Add(sim.ResCPU, sim.KindUpsample, "cpu upsample", float64(pixels)*c.UpsampleNsPerPix)
+	}
+	tl.Add(sim.ResCPU, sim.KindColor, "cpu color",
+		float64(pixels)*(c.ColorNsPerPix+c.StoreNsPerPix)+float64(rows)*c.RowOverheadNsPerY)
+}
+
+// addWholeImageCPUTasks appends stage tasks for the full-image CPU
+// parallel phase (sequential and SIMD modes).
+func addWholeImageCPUTasks(tl *sim.Timeline, f *jpegcodec.Frame, spec *platform.Spec, simd bool) {
+	c := spec.CPUScalar
+	if simd {
+		c = spec.CPUSIMD
+	}
+	blocks := regionBlocks(f, 0, f.MCURows)
+	rows := f.Img.Height
+	pixels := rows * f.Img.Width
+	tl.Add(sim.ResCPU, sim.KindIDCT, "cpu idct", float64(blocks)*c.IDCTNsPerBlock)
+	if f.Sub == jfif.Sub422 || f.Sub == jfif.Sub420 {
+		tl.Add(sim.ResCPU, sim.KindUpsample, "cpu upsample", float64(pixels)*c.UpsampleNsPerPix)
+	}
+	tl.Add(sim.ResCPU, sim.KindColor, "cpu color",
+		float64(pixels)*(c.ColorNsPerPix+c.StoreNsPerPix)+float64(rows)*c.RowOverheadNsPerY)
+}

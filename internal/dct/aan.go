@@ -1,0 +1,171 @@
+package dct
+
+import "math"
+
+// The AAN (Arai, Agui, Nakajima 1988) scaled DCT, referenced by the paper
+// as libjpeg-turbo's transform family. The fast path trades 1-D transform
+// multiplies for a per-coefficient scale that is folded into the
+// (de)quantization tables. These float variants are provided for the
+// ablation benchmarks comparing transform families; the codec's canonical
+// path remains the integer islow transform.
+
+// AANScales returns the 64 multiplicative factors that must be folded into
+// the output of ForwardAAN to obtain true DCT coefficients (the encoder
+// folds them into its quantization divisors).
+func AANScales() *[BlockSize]float64 {
+	var aanScaleFactor = [8]float64{
+		1.0, 1.387039845, 1.306562965, 1.175875602,
+		1.0, 0.785694958, 0.541196100, 0.275899379,
+	}
+	var s [BlockSize]float64
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			s[v*8+u] = 1 / (aanScaleFactor[v] * aanScaleFactor[u] * 8.0)
+		}
+	}
+	return &s
+}
+
+// ForwardAAN computes the scaled forward DCT in place. The output must be
+// multiplied by AANScales element-wise to obtain true DCT coefficients.
+func ForwardAAN(b *[BlockSize]float64) {
+	// Pass over rows, then columns.
+	for i := 0; i < 8; i++ {
+		aanForward1D(b[i*8:i*8+8:i*8+8], 1)
+	}
+	for i := 0; i < 8; i++ {
+		aanForward1D(b[i:], 8)
+	}
+}
+
+func aanForward1D(d []float64, stride int) {
+	at := func(i int) float64 { return d[i*stride] }
+	set := func(i int, v float64) { d[i*stride] = v }
+
+	tmp0 := at(0) + at(7)
+	tmp7 := at(0) - at(7)
+	tmp1 := at(1) + at(6)
+	tmp6 := at(1) - at(6)
+	tmp2 := at(2) + at(5)
+	tmp5 := at(2) - at(5)
+	tmp3 := at(3) + at(4)
+	tmp4 := at(3) - at(4)
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+
+	set(0, tmp10+tmp11)
+	set(4, tmp10-tmp11)
+
+	z1 := (tmp12 + tmp13) * 0.707106781
+	set(2, tmp13+z1)
+	set(6, tmp13-z1)
+
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+
+	z5 := (tmp10 - tmp12) * 0.382683433
+	z2 := 0.541196100*tmp10 + z5
+	z4 := 1.306562965*tmp12 + z5
+	z3 := tmp11 * 0.707106781
+
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+
+	set(5, z13+z2)
+	set(3, z13-z2)
+	set(1, z11+z4)
+	set(7, z11-z4)
+}
+
+// AANInverseScales returns the factors folded into dequantized
+// coefficients before InverseAAN (aanScale[u]*aanScale[v], without the /8
+// that InverseAANSamples applies at the end).
+func AANInverseScales() *[BlockSize]float64 {
+	var aanScaleFactor = [8]float64{
+		1.0, 1.387039845, 1.306562965, 1.175875602,
+		1.0, 0.785694958, 0.541196100, 0.275899379,
+	}
+	var s [BlockSize]float64
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			s[v*8+u] = aanScaleFactor[v] * aanScaleFactor[u]
+		}
+	}
+	return &s
+}
+
+// InverseAAN computes the scaled inverse DCT in place. Input coefficients
+// must already include the AANInverseScales dequantization folding; output
+// is in sample space scaled by 8, level-shift not applied.
+func InverseAAN(b *[BlockSize]float64) {
+	for i := 0; i < 8; i++ {
+		aanInverse1D(b[i:], 8)
+	}
+	for i := 0; i < 8; i++ {
+		aanInverse1D(b[i*8:i*8+8:i*8+8], 1)
+	}
+}
+
+func aanInverse1D(d []float64, stride int) {
+	at := func(i int) float64 { return d[i*stride] }
+	set := func(i int, v float64) { d[i*stride] = v }
+
+	tmp0 := at(0)
+	tmp1 := at(2)
+	tmp2 := at(4)
+	tmp3 := at(6)
+
+	tmp10 := tmp0 + tmp2
+	tmp11 := tmp0 - tmp2
+	tmp13 := tmp1 + tmp3
+	tmp12 := (tmp1-tmp3)*1.414213562 - tmp13
+
+	tmp0 = tmp10 + tmp13
+	tmp3 = tmp10 - tmp13
+	tmp1 = tmp11 + tmp12
+	tmp2 = tmp11 - tmp12
+
+	tmp4 := at(1)
+	tmp5 := at(3)
+	tmp6 := at(5)
+	tmp7 := at(7)
+
+	z13 := tmp6 + tmp5
+	z10 := tmp6 - tmp5
+	z11 := tmp4 + tmp7
+	z12 := tmp4 - tmp7
+
+	tmp7 = z11 + z13
+	tmp11 = (z11 - z13) * 1.414213562
+
+	z5 := (z10 + z12) * 1.847759065
+	tmp10 = 1.082392200*z12 - z5
+	tmp12 = -2.613125930*z10 + z5
+
+	tmp6 = tmp12 - tmp7
+	tmp5 = tmp11 - tmp6
+	tmp4 = tmp10 + tmp5
+
+	set(0, tmp0+tmp7)
+	set(7, tmp0-tmp7)
+	set(1, tmp1+tmp6)
+	set(6, tmp1-tmp6)
+	set(2, tmp2+tmp5)
+	set(5, tmp2-tmp5)
+	set(4, tmp3+tmp4)
+	set(3, tmp3-tmp4)
+}
+
+// InverseAANSamples runs InverseAAN then level-shifts and clamps to byte
+// range, scaling by 1/8 (the remaining AAN factor for the 2-D transform).
+func InverseAANSamples(b *[BlockSize]float64, out *[BlockSize]int32) {
+	InverseAAN(b)
+	for i, v := range b {
+		s := int32(math.Round(v/8)) + 128
+		out[i] = clampSample(s)
+	}
+}

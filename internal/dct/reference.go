@@ -1,0 +1,55 @@
+package dct
+
+import "math"
+
+// ForwardRef computes the textbook O(N^4) forward 2-D DCT-II of an 8x8
+// block of level-shifted samples. It is the correctness oracle for the
+// fast transforms. Output uses the JPEG convention (no extra x8 scaling).
+func ForwardRef(in *[BlockSize]float64, out *[BlockSize]float64) {
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var sum float64
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					sum += in[y*8+x] *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/16)
+				}
+			}
+			cu, cv := 1.0, 1.0
+			if u == 0 {
+				cu = 1 / math.Sqrt2
+			}
+			if v == 0 {
+				cv = 1 / math.Sqrt2
+			}
+			out[v*8+u] = 0.25 * cu * cv * sum
+		}
+	}
+}
+
+// InverseRef computes the textbook inverse 2-D DCT (Equations (1)-(2) of
+// the paper, applied in both dimensions) of an 8x8 coefficient block.
+// Output samples are level-shifted back to [0,255] but not clamped.
+func InverseRef(in *[BlockSize]float64, out *[BlockSize]float64) {
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var sum float64
+			for v := 0; v < 8; v++ {
+				for u := 0; u < 8; u++ {
+					cu, cv := 1.0, 1.0
+					if u == 0 {
+						cu = 1 / math.Sqrt2
+					}
+					if v == 0 {
+						cv = 1 / math.Sqrt2
+					}
+					sum += cu * cv * in[v*8+u] *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/16)
+				}
+			}
+			out[y*8+x] = 0.25*sum + 128
+		}
+	}
+}

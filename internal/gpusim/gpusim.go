@@ -1,0 +1,171 @@
+// Package gpusim implements the simulated OpenCL-programmable GPU that
+// substitutes for the paper's physical devices (no GPU API is available
+// from pure Go). The simulation is split in two concerns:
+//
+//   - Correctness: kernels execute for real. An ND-range is decomposed
+//     into work-groups; a work-group's work-items run in lock-step phases
+//     with an implicit barrier between phases (the SIMT model), sharing a
+//     local-memory array. Work-groups execute concurrently on a host
+//     goroutine pool. Every decoder mode therefore produces bit-exact
+//     pixels.
+//
+//   - Timing: each kernel and transfer reports a virtual-time cost
+//     derived from the calibrated platform model (arithmetic throughput,
+//     global-memory bandwidth, launch overhead, PCIe latency/bandwidth).
+//     Schedulers consume only these costs, reproducing the paper's
+//     performance landscape deterministically.
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hetjpeg/internal/platform"
+)
+
+// WarpSize is the SIMT issue width (NVIDIA terminology, Section 4.1).
+const WarpSize = 32
+
+// Device is one simulated GPU.
+type Device struct {
+	Spec    *platform.Spec
+	workers int
+}
+
+// New creates a device simulated with up to GOMAXPROCS host workers.
+func New(spec *platform.Spec) *Device {
+	return &Device{Spec: spec, workers: runtime.GOMAXPROCS(0)}
+}
+
+// CoefBuffer is a device-resident buffer of DCT coefficients (int16 on
+// the wire, as in the paper's `short` buffers).
+type CoefBuffer struct{ Data []int16 }
+
+// ByteBuffer is a device-resident buffer of samples or RGB bytes.
+type ByteBuffer struct{ Data []byte }
+
+// NewCoefBuffer allocates a device coefficient buffer.
+func (d *Device) NewCoefBuffer(n int) *CoefBuffer { return &CoefBuffer{Data: make([]int16, n)} }
+
+// NewByteBuffer allocates a device byte buffer.
+func (d *Device) NewByteBuffer(n int) *ByteBuffer { return &ByteBuffer{Data: make([]byte, n)} }
+
+// CopyInAt moves host coefficients (int32 in the whole-image buffer) into
+// a device buffer at element offset off, narrowing to int16 (the paper's
+// `short` device buffers). Transfer cost is accounted by the caller so
+// that multiple component copies of one chunk form a single logical
+// transfer.
+func (d *Device) CopyInAt(dst *CoefBuffer, off int, src []int32) {
+	if off+len(src) > len(dst.Data) {
+		panic(fmt.Sprintf("gpusim: CopyInAt overflow (%d+%d into %d)", off, len(src), len(dst.Data)))
+	}
+	out := dst.Data[off : off+len(src)]
+	for i, v := range src {
+		out[i] = int16(v)
+	}
+}
+
+// CopyOutAt moves n device bytes starting at offset off back into the
+// host buffer at the same offset (device and host share the whole-image
+// layout) and returns the virtual transfer cost.
+func (d *Device) CopyOutAt(dst []byte, off int, src *ByteBuffer, n int) float64 {
+	copy(dst[off:off+n], src.Data[off:off+n])
+	return d.Spec.TransferNs(n)
+}
+
+// Group is the per-work-group execution context passed to kernel phases.
+type Group struct {
+	ID    int
+	Items int
+	Local []int32 // local (shared) memory, zeroed per group
+}
+
+// PhaseFunc runs one work-item of one lock-step phase. Implicit barriers
+// separate phases, matching OpenCL barrier(CLK_LOCAL_MEM_FENCE) usage.
+type PhaseFunc func(g *Group, item int)
+
+// Kernel is a compiled ND-range launch: the work decomposition, the
+// lock-step phases, and the cost accounting the device charges for it.
+type Kernel struct {
+	Name          string
+	Groups        int
+	ItemsPerGroup int
+	LocalInt32    int // local memory words per group
+
+	Phases []PhaseFunc
+
+	// Cost accounting, filled by the kernel author from the actual work:
+	Ops         float64 // total arithmetic operations
+	GlobalBytes float64 // total global memory traffic in bytes
+	// DivergentFraction is the fraction of warps suffering branch
+	// divergence (both sides executed); their op cost doubles.
+	DivergentFraction float64
+}
+
+// CostNs returns the virtual execution time of k on d, delegating to the
+// platform's shared kernel cost formula (also used by the analytic cost
+// plans, so executed and planned costs agree exactly).
+func (d *Device) CostNs(k *Kernel) float64 {
+	return d.Spec.KernelCostNs(k.Ops, k.GlobalBytes, k.Groups, k.LocalInt32, k.DivergentFraction)
+}
+
+// Run executes the kernel's work-groups concurrently and returns the
+// virtual cost. Execution is synchronous from the caller's perspective;
+// virtual-time asynchrony is modeled by the scheduler's timeline.
+func (d *Device) Run(k *Kernel) float64 {
+	if k.Groups <= 0 || k.ItemsPerGroup <= 0 {
+		return d.Spec.GPU.LaunchNs
+	}
+	nw := d.workers
+	if nw > k.Groups {
+		nw = k.Groups
+	}
+	if nw <= 1 {
+		g := &Group{Local: make([]int32, k.LocalInt32), Items: k.ItemsPerGroup}
+		for gid := 0; gid < k.Groups; gid++ {
+			g.ID = gid
+			for i := range g.Local {
+				g.Local[i] = 0
+			}
+			runGroup(k, g)
+		}
+		return d.CostNs(k)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, nw)
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			g := &Group{Local: make([]int32, k.LocalInt32), Items: k.ItemsPerGroup}
+			for gid := range next {
+				g.ID = gid
+				for i := range g.Local {
+					g.Local[i] = 0
+				}
+				runGroup(k, g)
+			}
+		}()
+	}
+	for gid := 0; gid < k.Groups; gid++ {
+		next <- gid
+	}
+	close(next)
+	wg.Wait()
+	return d.CostNs(k)
+}
+
+func runGroup(k *Kernel, g *Group) {
+	for _, phase := range k.Phases {
+		for item := 0; item < k.ItemsPerGroup; item++ {
+			phase(g, item)
+		}
+	}
+}
+
+// Warps returns the number of warps an ND-range occupies.
+func Warps(groups, itemsPerGroup int) int {
+	perGroup := (itemsPerGroup + WarpSize - 1) / WarpSize
+	return groups * perGroup
+}

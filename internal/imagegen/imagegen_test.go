@@ -1,0 +1,119 @@
+package imagegen
+
+import (
+	"testing"
+
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Scene{Seed: 5, Detail: 0.5}, 64, 48)
+	b := Generate(Scene{Seed: 5, Detail: 0.5}, 64, 48)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("generator is not deterministic")
+		}
+	}
+	c := Generate(Scene{Seed: 6, Detail: 0.5}, 64, 48)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestDetailControlsDensity(t *testing.T) {
+	// Higher detail must produce a denser entropy-coded stream.
+	var last float64 = -1
+	for _, d := range []float64{0.0, 0.4, 0.8} {
+		img := Generate(Scene{Seed: 9, Detail: d}, 256, 256)
+		data, err := jpegcodec.Encode(img, jpegcodec.EncodeOptions{Quality: 85, Subsampling: jfif.Sub422})
+		if err != nil {
+			t.Fatal(err)
+		}
+		density := float64(len(data)) / (256 * 256)
+		if density <= last {
+			t.Fatalf("detail %v: density %.4f did not increase (prev %.4f)", d, density, last)
+		}
+		last = density
+	}
+	if last < 0.08 {
+		t.Fatalf("max density %.4f too low to span the model range", last)
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	items, err := Build(CorpusOptions{
+		Widths:   []int{64, 96},
+		Heights:  []int{64},
+		Details:  []float64{0.2, 0.9},
+		Sub:      jfif.Sub444,
+		SeedBase: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("%d items want 4", len(items))
+	}
+	for _, it := range items {
+		if _, err := jpegcodec.DecodeScalar(it.Data); err != nil {
+			t.Fatalf("%s does not decode: %v", it.Name, err)
+		}
+		if it.Density <= 0 {
+			t.Fatalf("%s: density %v", it.Name, it.Density)
+		}
+	}
+}
+
+func TestTrainTestCorporaDisjointSeeds(t *testing.T) {
+	tr := DefaultTraining(jfif.Sub422)
+	te := DefaultTest(jfif.Sub422)
+	if tr.SeedBase == te.SeedBase {
+		t.Fatal("training and test corpora share scene seeds")
+	}
+}
+
+func TestGradientDetailSkewsEntropy(t *testing.T) {
+	img := GenerateGradientDetail(3, 512, 512, 0.0, 1.0)
+	data, err := jpegcodec.Encode(img, jpegcodec.EncodeOptions{Quality: 85, Subsampling: jfif.Sub422})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ed, err := jpegcodec.PrepareDecode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ed.DecodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	n := f.MCURows
+	var top, bottom int64
+	for i, b := range ed.BitsPerRow {
+		if i < n/3 {
+			top += b
+		}
+		if i >= 2*n/3 {
+			bottom += b
+		}
+	}
+	if bottom < 2*top {
+		t.Fatalf("bottom third (%d bits) should be much denser than top (%d bits)", bottom, top)
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	items, err := SizeSweep(jfif.Sub420, 0.5, [][2]int{{64, 64}, {128, 96}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[1].W != 128 || items[1].H != 96 {
+		t.Fatalf("sweep items wrong: %+v", items)
+	}
+}

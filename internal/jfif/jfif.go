@@ -1,0 +1,387 @@
+// Package jfif parses and writes the JPEG interchange format container:
+// marker segments, frame and scan headers, quantization and Huffman table
+// definitions, and restart intervals. Only baseline sequential DCT
+// (SOF0) with 8-bit precision is supported, matching the paper's scope.
+package jfif
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hetjpeg/internal/huffman"
+)
+
+// Marker codes (second byte after 0xFF).
+const (
+	MarkerSOI  = 0xD8
+	MarkerEOI  = 0xD9
+	MarkerSOF0 = 0xC0
+	MarkerSOF1 = 0xC1
+	MarkerSOF2 = 0xC2
+	MarkerDHT  = 0xC4
+	MarkerDQT  = 0xDB
+	MarkerDRI  = 0xDD
+	MarkerSOS  = 0xDA
+	MarkerAPP0 = 0xE0
+	MarkerAPP1 = 0xE1
+	MarkerCOM  = 0xFE
+	MarkerRST0 = 0xD0
+)
+
+// ZigZag maps zig-zag index -> natural (row-major) index.
+var ZigZag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Natural maps natural index -> zig-zag index (inverse of ZigZag).
+var Natural [64]int
+
+func init() {
+	for z, n := range ZigZag {
+		Natural[n] = z
+	}
+}
+
+// StdLuminanceQuant is ITU-T T.81 Table K.1 in natural order.
+var StdLuminanceQuant = [64]uint16{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// StdChrominanceQuant is ITU-T T.81 Table K.2 in natural order.
+var StdChrominanceQuant = [64]uint16{
+	17, 18, 24, 47, 99, 99, 99, 99,
+	18, 21, 26, 66, 99, 99, 99, 99,
+	24, 26, 56, 99, 99, 99, 99, 99,
+	47, 66, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+}
+
+// ScaleQuantTable applies libjpeg's linear quality scaling (quality 1..100)
+// to a base table, clamping entries to [1,255] for baseline compatibility.
+func ScaleQuantTable(base *[64]uint16, quality int) [64]uint16 {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - quality*2
+	}
+	var out [64]uint16
+	for i, v := range base {
+		q := (int(v)*scale + 50) / 100
+		if q < 1 {
+			q = 1
+		}
+		if q > 255 {
+			q = 255
+		}
+		out[i] = uint16(q)
+	}
+	return out
+}
+
+// Subsampling identifies the chroma layout of a 3-component image.
+type Subsampling int
+
+const (
+	// Sub444 samples chroma at full resolution.
+	Sub444 Subsampling = iota
+	// Sub422 halves chroma horizontally (h2v1); the paper's main case.
+	Sub422
+	// Sub420 halves chroma in both directions (h2v2).
+	Sub420
+	// SubGray is a single-component (luminance only) image.
+	SubGray
+)
+
+// String implements fmt.Stringer.
+func (s Subsampling) String() string {
+	switch s {
+	case Sub444:
+		return "4:4:4"
+	case Sub422:
+		return "4:2:2"
+	case Sub420:
+		return "4:2:0"
+	case SubGray:
+		return "gray"
+	default:
+		return fmt.Sprintf("Subsampling(%d)", int(s))
+	}
+}
+
+// Factors returns the luma sampling factors (h, v) relative to chroma.
+func (s Subsampling) Factors() (h, v int) {
+	switch s {
+	case Sub422:
+		return 2, 1
+	case Sub420:
+		return 2, 2
+	default:
+		return 1, 1
+	}
+}
+
+// MCUPixels returns the MCU dimensions in luma pixels.
+func (s Subsampling) MCUPixels() (w, h int) {
+	fh, fv := s.Factors()
+	return 8 * fh, 8 * fv
+}
+
+// Component describes one color component from the frame header.
+type Component struct {
+	ID       byte
+	H, V     int // sampling factors
+	QuantSel int // quantization table selector
+	DCSel    int // DC Huffman table selector (from SOS)
+	ACSel    int // AC Huffman table selector (from SOS)
+}
+
+// Image is the parsed structural view of a baseline JPEG file.
+type Image struct {
+	Width, Height   int
+	Components      []Component
+	Quant           [4]*[64]uint16 // indexed by table selector, zigzag order undone (natural order)
+	DCTables        [4]*huffman.Table
+	ACTables        [4]*huffman.Table
+	RestartInterval int
+	EntropyData     []byte // the entropy-coded segment (between SOS header and EOI)
+	FileSize        int    // total size of the JPEG stream in bytes
+}
+
+// Subsampling classifies the component layout.
+func (im *Image) Subsampling() (Subsampling, error) {
+	if len(im.Components) == 1 {
+		return SubGray, nil
+	}
+	if len(im.Components) != 3 {
+		return 0, fmt.Errorf("jfif: unsupported component count %d", len(im.Components))
+	}
+	y, cb, cr := im.Components[0], im.Components[1], im.Components[2]
+	if cb.H != 1 || cb.V != 1 || cr.H != 1 || cr.V != 1 {
+		return 0, errors.New("jfif: chroma sampling factors must be 1x1")
+	}
+	switch {
+	case y.H == 1 && y.V == 1:
+		return Sub444, nil
+	case y.H == 2 && y.V == 1:
+		return Sub422, nil
+	case y.H == 2 && y.V == 2:
+		return Sub420, nil
+	}
+	return 0, fmt.Errorf("jfif: unsupported luma sampling %dx%d", y.H, y.V)
+}
+
+// EntropyDensity returns the paper's entropy-density estimate d =
+// FileSize / (Width*Height) in bytes per pixel (Equation 3).
+func (im *Image) EntropyDensity() float64 {
+	if im.Width == 0 || im.Height == 0 {
+		return 0
+	}
+	return float64(im.FileSize) / float64(im.Width*im.Height)
+}
+
+// Parse reads a baseline JPEG stream into an Image. The entropy-coded
+// segment is referenced, not copied.
+func Parse(data []byte) (*Image, error) {
+	if len(data) < 4 || data[0] != 0xFF || data[1] != MarkerSOI {
+		return nil, errors.New("jfif: missing SOI marker")
+	}
+	im := &Image{FileSize: len(data)}
+	pos := 2
+	for {
+		if pos+4 > len(data) {
+			return nil, errors.New("jfif: truncated stream")
+		}
+		if data[pos] != 0xFF {
+			return nil, fmt.Errorf("jfif: expected marker at offset %d, found %#02x", pos, data[pos])
+		}
+		marker := data[pos+1]
+		pos += 2
+		if marker == MarkerEOI {
+			return nil, errors.New("jfif: EOI before SOS")
+		}
+		segLen := int(binary.BigEndian.Uint16(data[pos:])) // includes the two length bytes
+		if segLen < 2 || pos+segLen > len(data) {
+			return nil, fmt.Errorf("jfif: bad segment length %d for marker %#02x", segLen, marker)
+		}
+		seg := data[pos+2 : pos+segLen]
+		pos += segLen
+
+		switch marker {
+		case MarkerSOF0, MarkerSOF1:
+			if err := im.parseSOF(seg); err != nil {
+				return nil, err
+			}
+		case MarkerSOF2:
+			return nil, errors.New("jfif: progressive JPEG not supported")
+		case MarkerDQT:
+			if err := im.parseDQT(seg); err != nil {
+				return nil, err
+			}
+		case MarkerDHT:
+			if err := im.parseDHT(seg); err != nil {
+				return nil, err
+			}
+		case MarkerDRI:
+			if len(seg) != 2 {
+				return nil, errors.New("jfif: bad DRI length")
+			}
+			im.RestartInterval = int(binary.BigEndian.Uint16(seg))
+		case MarkerSOS:
+			if err := im.parseSOS(seg); err != nil {
+				return nil, err
+			}
+			// Entropy data runs to EOI; find the final FFD9.
+			end := len(data)
+			if end >= 2 && data[end-1] == MarkerEOI && data[end-2] == 0xFF {
+				end -= 2
+			}
+			im.EntropyData = data[pos:end]
+			return im, nil
+		default:
+			// APPn/COM and friends: skip.
+		}
+	}
+}
+
+func (im *Image) parseSOF(seg []byte) error {
+	if len(seg) < 6 {
+		return errors.New("jfif: short SOF")
+	}
+	if seg[0] != 8 {
+		return fmt.Errorf("jfif: %d-bit precision not supported", seg[0])
+	}
+	im.Height = int(binary.BigEndian.Uint16(seg[1:]))
+	im.Width = int(binary.BigEndian.Uint16(seg[3:]))
+	n := int(seg[5])
+	if len(seg) < 6+3*n {
+		return errors.New("jfif: short SOF component list")
+	}
+	if n != 1 && n != 3 {
+		return fmt.Errorf("jfif: unsupported component count %d", n)
+	}
+	im.Components = make([]Component, n)
+	for i := 0; i < n; i++ {
+		c := seg[6+3*i : 9+3*i]
+		im.Components[i] = Component{
+			ID:       c[0],
+			H:        int(c[1] >> 4),
+			V:        int(c[1] & 0xF),
+			QuantSel: int(c[2]),
+		}
+		if im.Components[i].QuantSel > 3 {
+			return errors.New("jfif: quant selector out of range")
+		}
+	}
+	return nil
+}
+
+func (im *Image) parseDQT(seg []byte) error {
+	for len(seg) > 0 {
+		pq := seg[0] >> 4
+		tq := int(seg[0] & 0xF)
+		if tq > 3 {
+			return errors.New("jfif: DQT selector out of range")
+		}
+		if pq != 0 {
+			return errors.New("jfif: 16-bit quant tables not supported in baseline")
+		}
+		if len(seg) < 65 {
+			return errors.New("jfif: short DQT")
+		}
+		var tbl [64]uint16
+		for z := 0; z < 64; z++ {
+			tbl[ZigZag[z]] = uint16(seg[1+z])
+		}
+		im.Quant[tq] = &tbl
+		seg = seg[65:]
+	}
+	return nil
+}
+
+func (im *Image) parseDHT(seg []byte) error {
+	for len(seg) > 0 {
+		if len(seg) < 17 {
+			return errors.New("jfif: short DHT")
+		}
+		class := seg[0] >> 4
+		sel := int(seg[0] & 0xF)
+		if sel > 3 || class > 1 {
+			return errors.New("jfif: DHT selector/class out of range")
+		}
+		var spec huffman.Spec
+		total := 0
+		for i := 0; i < 16; i++ {
+			spec.Counts[i] = seg[1+i]
+			total += int(seg[1+i])
+		}
+		if len(seg) < 17+total {
+			return errors.New("jfif: short DHT values")
+		}
+		spec.Values = append([]byte(nil), seg[17:17+total]...)
+		tbl, err := huffman.New(spec)
+		if err != nil {
+			return err
+		}
+		if class == 0 {
+			im.DCTables[sel] = tbl
+		} else {
+			im.ACTables[sel] = tbl
+		}
+		seg = seg[17+total:]
+	}
+	return nil
+}
+
+func (im *Image) parseSOS(seg []byte) error {
+	if len(seg) < 1 {
+		return errors.New("jfif: short SOS")
+	}
+	n := int(seg[0])
+	if n != len(im.Components) {
+		return fmt.Errorf("jfif: SOS has %d components, SOF has %d", n, len(im.Components))
+	}
+	if len(seg) < 1+2*n+3 {
+		return errors.New("jfif: short SOS body")
+	}
+	for i := 0; i < n; i++ {
+		id := seg[1+2*i]
+		sel := seg[2+2*i]
+		found := false
+		for j := range im.Components {
+			if im.Components[j].ID == id {
+				im.Components[j].DCSel = int(sel >> 4)
+				im.Components[j].ACSel = int(sel & 0xF)
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("jfif: SOS references unknown component %d", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package jfif
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"hetjpeg/internal/huffman"
+)
+
+func buildMinimalJPEG(t *testing.T, width, height int, hs, vs int) []byte {
+	t.Helper()
+	w := NewWriter()
+	w.WriteAPP0()
+	q := ScaleQuantTable(&StdLuminanceQuant, 75)
+	w.WriteDQT(0, &q)
+	comps := []Component{
+		{ID: 1, H: hs, V: vs, QuantSel: 0, DCSel: 0, ACSel: 0},
+		{ID: 2, H: 1, V: 1, QuantSel: 0, DCSel: 0, ACSel: 0},
+		{ID: 3, H: 1, V: 1, QuantSel: 0, DCSel: 0, ACSel: 0},
+	}
+	w.WriteSOF0(width, height, comps)
+	w.WriteDHT(0, 0, huffman.StdDCLuminance)
+	w.WriteDHT(1, 0, huffman.StdACLuminance)
+	w.WriteSOS(comps, []byte{0xAB, 0xCD})
+	return w.Finish()
+}
+
+func TestParseWriterRoundTrip(t *testing.T) {
+	data := buildMinimalJPEG(t, 123, 77, 2, 1)
+	im, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Width != 123 || im.Height != 77 {
+		t.Fatalf("dims %dx%d", im.Width, im.Height)
+	}
+	if len(im.Components) != 3 {
+		t.Fatalf("%d components", len(im.Components))
+	}
+	sub, err := im.Subsampling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != Sub422 {
+		t.Fatalf("subsampling %v want 4:2:2", sub)
+	}
+	if !bytes.Equal(im.EntropyData, []byte{0xAB, 0xCD}) {
+		t.Fatalf("entropy data %x", im.EntropyData)
+	}
+	if im.Quant[0] == nil || im.DCTables[0] == nil || im.ACTables[0] == nil {
+		t.Fatal("tables not parsed")
+	}
+	if im.FileSize != len(data) {
+		t.Fatalf("FileSize %d want %d", im.FileSize, len(data))
+	}
+}
+
+func TestSubsamplingClassification(t *testing.T) {
+	cases := []struct {
+		hs, vs int
+		want   Subsampling
+	}{
+		{1, 1, Sub444}, {2, 1, Sub422}, {2, 2, Sub420},
+	}
+	for _, c := range cases {
+		data := buildMinimalJPEG(t, 64, 64, c.hs, c.vs)
+		im, err := Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := im.Subsampling()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub != c.want {
+			t.Errorf("h=%d v=%d: got %v want %v", c.hs, c.vs, sub, c.want)
+		}
+	}
+}
+
+func TestSubsamplingGeometry(t *testing.T) {
+	if w, h := Sub422.MCUPixels(); w != 16 || h != 8 {
+		t.Fatalf("4:2:2 MCU %dx%d", w, h)
+	}
+	if w, h := Sub420.MCUPixels(); w != 16 || h != 16 {
+		t.Fatalf("4:2:0 MCU %dx%d", w, h)
+	}
+	if w, h := Sub444.MCUPixels(); w != 8 || h != 8 {
+		t.Fatalf("4:4:4 MCU %dx%d", w, h)
+	}
+	if Sub422.String() != "4:2:2" || SubGray.String() != "gray" {
+		t.Fatal("Stringer wrong")
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := map[int]bool{}
+	for _, v := range ZigZag {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("bad zigzag entry %d", v)
+		}
+		seen[v] = true
+	}
+	for n, z := range Natural {
+		if ZigZag[z] != n {
+			t.Fatalf("Natural inverse broken at %d", n)
+		}
+	}
+	// First few entries of the standard order.
+	want := []int{0, 1, 8, 16, 9, 2}
+	for i, v := range want {
+		if ZigZag[i] != v {
+			t.Fatalf("ZigZag[%d]=%d want %d", i, ZigZag[i], v)
+		}
+	}
+}
+
+func TestQuantQualityScaling(t *testing.T) {
+	q50 := ScaleQuantTable(&StdLuminanceQuant, 50)
+	for i := range q50 {
+		if q50[i] != StdLuminanceQuant[i] {
+			t.Fatalf("quality 50 must be the base table (entry %d: %d vs %d)", i, q50[i], StdLuminanceQuant[i])
+		}
+	}
+	q95 := ScaleQuantTable(&StdLuminanceQuant, 95)
+	q10 := ScaleQuantTable(&StdLuminanceQuant, 10)
+	for i := range q95 {
+		if q95[i] > q50[i] {
+			t.Fatal("higher quality must not increase quantization")
+		}
+		if q10[i] < q50[i] {
+			t.Fatal("lower quality must not decrease quantization")
+		}
+		if q95[i] < 1 || q10[i] > 255 {
+			t.Fatal("clamping violated")
+		}
+	}
+}
+
+func TestParseRejectsProgressive(t *testing.T) {
+	data := buildMinimalJPEG(t, 32, 32, 1, 1)
+	// Rewrite the SOF0 marker to SOF2.
+	idx := bytes.Index(data, []byte{0xFF, MarkerSOF0})
+	if idx < 0 {
+		t.Fatal("no SOF0 in fixture")
+	}
+	data[idx+1] = MarkerSOF2
+	if _, err := Parse(data); err == nil {
+		t.Fatal("progressive stream accepted")
+	}
+}
+
+func TestParseRejectsBadSegmentLength(t *testing.T) {
+	data := buildMinimalJPEG(t, 32, 32, 1, 1)
+	idx := bytes.Index(data, []byte{0xFF, MarkerDQT})
+	if idx < 0 {
+		t.Fatal("no DQT")
+	}
+	binary.BigEndian.PutUint16(data[idx+2:], 60000)
+	if _, err := Parse(data); err == nil {
+		t.Fatal("oversized segment accepted")
+	}
+}
+
+func TestParseDRI(t *testing.T) {
+	w := NewWriter()
+	w.WriteAPP0()
+	q := ScaleQuantTable(&StdLuminanceQuant, 75)
+	w.WriteDQT(0, &q)
+	comps := []Component{{ID: 1, H: 1, V: 1}}
+	w.WriteSOF0(16, 16, comps)
+	w.WriteDHT(0, 0, huffman.StdDCLuminance)
+	w.WriteDHT(1, 0, huffman.StdACLuminance)
+	w.WriteDRI(5)
+	w.WriteSOS(comps, nil)
+	im, err := Parse(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.RestartInterval != 5 {
+		t.Fatalf("RestartInterval=%d want 5", im.RestartInterval)
+	}
+	if sub, _ := im.Subsampling(); sub != SubGray {
+		t.Fatalf("single component should classify gray, got %v", sub)
+	}
+}
+
+func TestEntropyDensity(t *testing.T) {
+	im := &Image{Width: 100, Height: 50, FileSize: 1000}
+	if d := im.EntropyDensity(); d != 0.2 {
+		t.Fatalf("density %v want 0.2", d)
+	}
+	im.Width = 0
+	if d := im.EntropyDensity(); d != 0 {
+		t.Fatalf("degenerate density %v want 0", d)
+	}
+}

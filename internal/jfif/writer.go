@@ -1,0 +1,103 @@
+package jfif
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"hetjpeg/internal/huffman"
+)
+
+// Writer assembles a baseline JPEG stream segment by segment.
+type Writer struct {
+	buf bytes.Buffer
+}
+
+// NewWriter returns a Writer with the SOI marker already emitted.
+func NewWriter() *Writer {
+	w := &Writer{}
+	w.buf.Write([]byte{0xFF, MarkerSOI})
+	return w
+}
+
+func (w *Writer) segment(marker byte, payload []byte) {
+	w.buf.Write([]byte{0xFF, marker})
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(payload)+2))
+	w.buf.Write(l[:])
+	w.buf.Write(payload)
+}
+
+// WriteAPP0 emits a minimal JFIF APP0 segment.
+func (w *Writer) WriteAPP0() {
+	w.segment(MarkerAPP0, []byte{
+		'J', 'F', 'I', 'F', 0,
+		1, 1, // version 1.1
+		0,    // aspect ratio units: none
+		0, 1, // x density
+		0, 1, // y density
+		0, 0, // no thumbnail
+	})
+}
+
+// WriteDQT emits one quantization table (8-bit precision) from natural
+// order, converting to zig-zag on the wire.
+func (w *Writer) WriteDQT(sel int, tbl *[64]uint16) {
+	payload := make([]byte, 65)
+	payload[0] = byte(sel)
+	for z := 0; z < 64; z++ {
+		payload[1+z] = byte(tbl[ZigZag[z]])
+	}
+	w.segment(MarkerDQT, payload)
+}
+
+// WriteSOF0 emits the baseline frame header.
+func (w *Writer) WriteSOF0(width, height int, comps []Component) {
+	payload := make([]byte, 6+3*len(comps))
+	payload[0] = 8 // precision
+	binary.BigEndian.PutUint16(payload[1:], uint16(height))
+	binary.BigEndian.PutUint16(payload[3:], uint16(width))
+	payload[5] = byte(len(comps))
+	for i, c := range comps {
+		payload[6+3*i] = c.ID
+		payload[7+3*i] = byte(c.H<<4 | c.V)
+		payload[8+3*i] = byte(c.QuantSel)
+	}
+	w.segment(MarkerSOF0, payload)
+}
+
+// WriteDHT emits one Huffman table definition. class 0 = DC, 1 = AC.
+func (w *Writer) WriteDHT(class, sel int, spec huffman.Spec) {
+	payload := make([]byte, 17+len(spec.Values))
+	payload[0] = byte(class<<4 | sel)
+	copy(payload[1:17], spec.Counts[:])
+	copy(payload[17:], spec.Values)
+	w.segment(MarkerDHT, payload)
+}
+
+// WriteDRI emits a restart-interval definition.
+func (w *Writer) WriteDRI(interval int) {
+	var payload [2]byte
+	binary.BigEndian.PutUint16(payload[:], uint16(interval))
+	w.segment(MarkerDRI, payload[:])
+}
+
+// WriteSOS emits the scan header followed by the entropy-coded data.
+func (w *Writer) WriteSOS(comps []Component, entropy []byte) {
+	payload := make([]byte, 1+2*len(comps)+3)
+	payload[0] = byte(len(comps))
+	for i, c := range comps {
+		payload[1+2*i] = c.ID
+		payload[2+2*i] = byte(c.DCSel<<4 | c.ACSel)
+	}
+	payload[len(payload)-3] = 0  // spectral start
+	payload[len(payload)-2] = 63 // spectral end
+	payload[len(payload)-1] = 0  // successive approximation
+	w.segment(MarkerSOS, payload)
+	w.buf.Write(entropy)
+}
+
+// Finish emits EOI and returns the complete stream.
+func (w *Writer) Finish() []byte {
+	w.buf.Write([]byte{0xFF, MarkerEOI})
+	return w.buf.Bytes()
+}

@@ -1,0 +1,201 @@
+package jpegcodec
+
+import (
+	"fmt"
+
+	"hetjpeg/internal/color"
+	"hetjpeg/internal/dct"
+	"hetjpeg/internal/jfif"
+)
+
+// This file implements the scalar (non-SIMD) CPU parallel phase: the
+// reference implementation of dequantization + IDCT, upsampling and color
+// conversion. Every other execution path (SIMD analog, simulated GPU
+// kernels) must produce byte-identical output.
+
+// IDCTRange dequantizes and inverse-transforms every block of component c
+// within MCU rows [m0, m1), writing reconstructed samples into
+// f.Samples[c].
+func IDCTRange(f *Frame, c, m0, m1 int) {
+	p := f.Planes[c]
+	IDCTBlockRows(f, c, m0*p.V, m1*p.V)
+}
+
+// IDCTBlockRows transforms block rows [b0, b1) of component c. The
+// heterogeneous decoder uses it for the one-block-row halo the 4:2:0
+// vertical filter needs above a CPU partition.
+func IDCTBlockRows(f *Frame, c, b0, b1 int) {
+	p := f.Planes[c]
+	quant := f.Img.Quant[f.Img.Components[c].QuantSel]
+	pw := p.PlaneW()
+	var in, out [64]int32
+	for by := b0; by < b1; by++ {
+		for bx := 0; bx < p.BlocksPerRow; bx++ {
+			blk := f.Block(c, bx, by)
+			for i := 0; i < 64; i++ {
+				in[i] = blk[i] * int32(quant[i])
+			}
+			dct.InverseInt(&in, &out)
+			base := by*8*pw + bx*8
+			plane := f.Samples[c]
+			for y := 0; y < 8; y++ {
+				row := plane[base+y*pw : base+y*pw+8 : base+y*pw+8]
+				for x := 0; x < 8; x++ {
+					row[x] = byte(out[y*8+x])
+				}
+			}
+		}
+	}
+}
+
+// ColorConvertRange upsamples (if needed) and color-converts luma pixel
+// rows [r0, r1) into the interleaved RGB output buffer. Sample planes for
+// the covered region must already be reconstructed.
+func ColorConvertRange(f *Frame, r0, r1 int, out *RGBImage) {
+	w := f.Img.Width
+	switch f.Sub {
+	case jfif.SubGray:
+		yPlane := f.Samples[0]
+		pw := f.Planes[0].PlaneW()
+		for y := r0; y < r1; y++ {
+			row := yPlane[y*pw:]
+			dst := out.Pix[y*w*3:]
+			for x := 0; x < w; x++ {
+				v := row[x]
+				dst[x*3], dst[x*3+1], dst[x*3+2] = v, v, v
+			}
+		}
+	case jfif.Sub444:
+		pw := f.Planes[0].PlaneW()
+		yP, cbP, crP := f.Samples[0], f.Samples[1], f.Samples[2]
+		for y := r0; y < r1; y++ {
+			yr := yP[y*pw:]
+			cbr := cbP[y*pw:]
+			crr := crP[y*pw:]
+			dst := out.Pix[y*w*3:]
+			for x := 0; x < w; x++ {
+				r, g, b := color.YCbCrToRGB(int32(yr[x]), int32(cbr[x]), int32(crr[x]))
+				dst[x*3], dst[x*3+1], dst[x*3+2] = r, g, b
+			}
+		}
+	case jfif.Sub422:
+		ypw := f.Planes[0].PlaneW()
+		cpw := f.Planes[1].PlaneW()
+		yP, cbP, crP := f.Samples[0], f.Samples[1], f.Samples[2]
+		cbUp := make([]byte, 2*cpw)
+		crUp := make([]byte, 2*cpw)
+		for y := r0; y < r1; y++ {
+			color.UpsampleRowH2V1Fancy(cbP[y*cpw:y*cpw+cpw], cbUp)
+			color.UpsampleRowH2V1Fancy(crP[y*cpw:y*cpw+cpw], crUp)
+			yr := yP[y*ypw:]
+			dst := out.Pix[y*w*3:]
+			for x := 0; x < w; x++ {
+				r, g, b := color.YCbCrToRGB(int32(yr[x]), int32(cbUp[x]), int32(crUp[x]))
+				dst[x*3], dst[x*3+1], dst[x*3+2] = r, g, b
+			}
+		}
+	case jfif.Sub420:
+		ypw := f.Planes[0].PlaneW()
+		cpw := f.Planes[1].PlaneW()
+		yP, cbP, crP := f.Samples[0], f.Samples[1], f.Samples[2]
+		cbUp := make([]byte, 2*cpw)
+		crUp := make([]byte, 2*cpw)
+		ch := f.Planes[1].PlaneH()
+		for y := r0; y < r1; y++ {
+			upsample420Row(cbP, cpw, ch, y, cbUp)
+			upsample420Row(crP, cpw, ch, y, crUp)
+			yr := yP[y*ypw:]
+			dst := out.Pix[y*w*3:]
+			for x := 0; x < w; x++ {
+				r, g, b := color.YCbCrToRGB(int32(yr[x]), int32(cbUp[x]), int32(crUp[x]))
+				dst[x*3], dst[x*3+1], dst[x*3+2] = r, g, b
+			}
+		}
+	}
+}
+
+// upsample420Row produces one full-resolution chroma row (output luma row
+// index y) from an h2v2 plane using the fancy triangle filter: a 3:1
+// vertical blend of the two nearest chroma rows followed by the
+// horizontal Algorithm 1 filter.
+func upsample420Row(plane []byte, cpw, ch, y int, out []byte) {
+	near := y / 2
+	var far int
+	if y%2 == 0 {
+		far = near - 1
+	} else {
+		far = near + 1
+	}
+	if far < 0 {
+		far = 0
+	}
+	if far >= ch {
+		far = ch - 1
+	}
+	rn := plane[near*cpw : near*cpw+cpw]
+	rf := plane[far*cpw : far*cpw+cpw]
+	// Vertical 3:1 blend into 10-bit intermediate, then the horizontal
+	// triangle filter on the blended row (libjpeg h2v2 fancy upsampling).
+	blend := make([]int, cpw)
+	for i := range blend {
+		blend[i] = 3*int(rn[i]) + int(rf[i])
+	}
+	n := cpw
+	out[0] = byte((4*blend[0] + 8) >> 4)
+	if n == 1 {
+		out[1] = out[0]
+		return
+	}
+	out[1] = byte((3*blend[0] + blend[1] + 7) >> 4)
+	for i := 1; i < n-1; i++ {
+		c := 3 * blend[i]
+		out[2*i] = byte((c + blend[i-1] + 8) >> 4)
+		out[2*i+1] = byte((c + blend[i+1] + 7) >> 4)
+	}
+	out[2*n-2] = byte((3*blend[n-1] + blend[n-2] + 8) >> 4)
+	out[2*n-1] = byte((4*blend[n-1] + 8) >> 4)
+}
+
+// ParallelPhaseScalar runs the full scalar parallel phase (dequant+IDCT,
+// upsample, color conversion) for MCU rows [m0, m1).
+func ParallelPhaseScalar(f *Frame, m0, m1 int, out *RGBImage) {
+	for c := range f.Planes {
+		IDCTRange(f, c, m0, m1)
+	}
+	r0, r1 := f.PixelRows(m0, m1)
+	ColorConvertRange(f, r0, r1, out)
+}
+
+// DecodeScalar is the sequential reference decoder (the libjpeg analog):
+// entropy decode then the scalar parallel phase, whole image.
+func DecodeScalar(data []byte) (*RGBImage, error) {
+	f, ed, err := PrepareDecode(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := ed.DecodeAll(); err != nil {
+		return nil, err
+	}
+	out := NewRGBImage(f.Img.Width, f.Img.Height)
+	ParallelPhaseScalar(f, 0, f.MCURows, out)
+	return out, nil
+}
+
+// PrepareDecode parses the stream and allocates whole-image buffers,
+// returning the frame and a chunked entropy decoder positioned at row 0.
+func PrepareDecode(data []byte) (*Frame, *EntropyDecoder, error) {
+	im, err := jfif.Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range im.Components {
+		if im.Quant[c.QuantSel] == nil {
+			return nil, nil, fmt.Errorf("jpegcodec: missing quant table %d", c.QuantSel)
+		}
+	}
+	f, err := NewFrame(im)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, NewEntropyDecoder(f), nil
+}

@@ -1,0 +1,361 @@
+package jpegcodec
+
+import (
+	"fmt"
+
+	"hetjpeg/internal/bitstream"
+	"hetjpeg/internal/color"
+	"hetjpeg/internal/dct"
+	"hetjpeg/internal/huffman"
+	"hetjpeg/internal/jfif"
+)
+
+// EncodeOptions controls the baseline JPEG encoder.
+type EncodeOptions struct {
+	// Quality is the libjpeg-style quality factor, 1..100. Zero means 75.
+	Quality int
+	// Subsampling selects the chroma layout (default Sub444).
+	Subsampling jfif.Subsampling
+	// RestartInterval, when > 0, inserts RSTn markers every that many MCUs.
+	RestartInterval int
+	// OptimizeHuffman builds image-specific optimal Huffman tables with a
+	// second statistics pass instead of using the Annex K defaults.
+	OptimizeHuffman bool
+}
+
+func (o *EncodeOptions) withDefaults() EncodeOptions {
+	out := *o
+	if out.Quality == 0 {
+		out.Quality = 75
+	}
+	return out
+}
+
+// Encode compresses an RGB image into a baseline JPEG stream.
+func Encode(img *RGBImage, opts EncodeOptions) ([]byte, error) {
+	opts = opts.withDefaults()
+	if img.W <= 0 || img.H <= 0 {
+		return nil, fmt.Errorf("jpegcodec: bad dimensions %dx%d", img.W, img.H)
+	}
+	if img.W >= 1<<16 || img.H >= 1<<16 {
+		return nil, fmt.Errorf("jpegcodec: dimensions %dx%d exceed JPEG limits", img.W, img.H)
+	}
+	if opts.Subsampling == jfif.SubGray {
+		return nil, fmt.Errorf("jpegcodec: grayscale encoding not supported (decode-only)")
+	}
+
+	lumaQ := jfif.ScaleQuantTable(&jfif.StdLuminanceQuant, opts.Quality)
+	chromaQ := jfif.ScaleQuantTable(&jfif.StdChrominanceQuant, opts.Quality)
+
+	hs, vs := opts.Subsampling.Factors()
+	comps := []jfif.Component{
+		{ID: 1, H: hs, V: vs, QuantSel: 0, DCSel: 0, ACSel: 0},
+		{ID: 2, H: 1, V: 1, QuantSel: 1, DCSel: 1, ACSel: 1},
+		{ID: 3, H: 1, V: 1, QuantSel: 1, DCSel: 1, ACSel: 1},
+	}
+
+	planes, infos := buildEncodePlanes(img, opts.Subsampling)
+
+	// Quantized coefficients per component, blocks in raster order.
+	quants := [3]*[64]uint16{&lumaQ, &chromaQ, &chromaQ}
+	coeffs := make([][]int32, 3)
+	for ci := range planes {
+		coeffs[ci] = forwardComponent(planes[ci], infos[ci], quants[ci])
+	}
+
+	mcuW, mcuH := opts.Subsampling.MCUPixels()
+	mcusPerRow := (img.W + mcuW - 1) / mcuW
+	mcuRows := (img.H + mcuH - 1) / mcuH
+
+	dcTabs := [2]huffman.Spec{huffman.StdDCLuminance, huffman.StdDCChrominance}
+	acTabs := [2]huffman.Spec{huffman.StdACLuminance, huffman.StdACChrominance}
+	if opts.OptimizeHuffman {
+		var dcFreq, acFreq [2][256]int64
+		countPass := &freqCounter{dc: &dcFreq, ac: &acFreq}
+		if err := encodeScan(countPass, comps, coeffs, infos, mcusPerRow, mcuRows, opts.RestartInterval); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			spec, err := huffman.BuildFromFrequencies(dcFreq[i])
+			if err != nil {
+				return nil, fmt.Errorf("jpegcodec: optimal DC table %d: %w", i, err)
+			}
+			dcTabs[i] = spec
+			spec, err = huffman.BuildFromFrequencies(acFreq[i])
+			if err != nil {
+				return nil, fmt.Errorf("jpegcodec: optimal AC table %d: %w", i, err)
+			}
+			acTabs[i] = spec
+		}
+	}
+
+	var tabs tableSet
+	for i := 0; i < 2; i++ {
+		var err error
+		if tabs.dc[i], err = huffman.New(dcTabs[i]); err != nil {
+			return nil, err
+		}
+		if tabs.ac[i], err = huffman.New(acTabs[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	emit := &bitEmitter{w: bitstream.NewWriter(), tabs: &tabs}
+	if err := encodeScan(emit, comps, coeffs, infos, mcusPerRow, mcuRows, opts.RestartInterval); err != nil {
+		return nil, err
+	}
+	entropy := emit.w.Flush()
+
+	jw := jfif.NewWriter()
+	jw.WriteAPP0()
+	jw.WriteDQT(0, &lumaQ)
+	jw.WriteDQT(1, &chromaQ)
+	jw.WriteSOF0(img.W, img.H, comps)
+	jw.WriteDHT(0, 0, dcTabs[0])
+	jw.WriteDHT(1, 0, acTabs[0])
+	jw.WriteDHT(0, 1, dcTabs[1])
+	jw.WriteDHT(1, 1, acTabs[1])
+	if opts.RestartInterval > 0 {
+		jw.WriteDRI(opts.RestartInterval)
+	}
+	jw.WriteSOS(comps, entropy)
+	return jw.Finish(), nil
+}
+
+// buildEncodePlanes converts to YCbCr, downsamples chroma, and pads each
+// plane to its MCU-aligned geometry with edge replication.
+func buildEncodePlanes(img *RGBImage, sub jfif.Subsampling) ([3][]byte, [3]PlaneInfo) {
+	w, h := img.W, img.H
+	yP := make([]byte, w*h)
+	cbP := make([]byte, w*h)
+	crP := make([]byte, w*h)
+	for i, px := 0, 0; i < w*h; i, px = i+1, px+3 {
+		yP[i], cbP[i], crP[i] = color.RGBToYCbCr(img.Pix[px], img.Pix[px+1], img.Pix[px+2])
+	}
+
+	hs, vs := sub.Factors()
+	mcuW, mcuH := sub.MCUPixels()
+	mcusPerRow := (w + mcuW - 1) / mcuW
+	mcuRows := (h + mcuH - 1) / mcuH
+
+	var infos [3]PlaneInfo
+	infos[0] = PlaneInfo{CompW: w, CompH: h, BlocksPerRow: mcusPerRow * hs, BlockRows: mcuRows * vs, H: hs, V: vs}
+	cw := (w + hs - 1) / hs
+	ch := (h + vs - 1) / vs
+	infos[1] = PlaneInfo{CompW: cw, CompH: ch, BlocksPerRow: mcusPerRow, BlockRows: mcuRows, H: 1, V: 1}
+	infos[2] = infos[1]
+
+	// Downsample chroma.
+	var cb2, cr2 []byte
+	switch sub {
+	case jfif.Sub444:
+		cb2, cr2 = cbP, crP
+	case jfif.Sub422:
+		cb2 = make([]byte, cw*ch)
+		cr2 = make([]byte, cw*ch)
+		for y := 0; y < h; y++ {
+			in := padRow(cbP[y*w:y*w+w], 2*cw)
+			color.DownsampleRowsH2V1(in, cb2[y*cw:y*cw+cw])
+			in = padRow(crP[y*w:y*w+w], 2*cw)
+			color.DownsampleRowsH2V1(in, cr2[y*cw:y*cw+cw])
+		}
+	case jfif.Sub420:
+		evenW, evenH := 2*cw, 2*ch
+		cbe := padPlane(cbP, w, h, evenW, evenH)
+		cre := padPlane(crP, w, h, evenW, evenH)
+		cb2 = make([]byte, cw*ch)
+		cr2 = make([]byte, cw*ch)
+		color.DownsampleH2V2(cbe, evenW, evenH, cb2)
+		color.DownsampleH2V2(cre, evenW, evenH, cr2)
+	}
+
+	var planes [3][]byte
+	planes[0] = padPlane(yP, w, h, infos[0].PlaneW(), infos[0].PlaneH())
+	planes[1] = padPlane(cb2, cw, ch, infos[1].PlaneW(), infos[1].PlaneH())
+	planes[2] = padPlane(cr2, cw, ch, infos[2].PlaneW(), infos[2].PlaneH())
+	return planes, infos
+}
+
+// padRow returns row extended to length n by replicating the last sample.
+func padRow(row []byte, n int) []byte {
+	if len(row) >= n {
+		return row[:n]
+	}
+	out := make([]byte, n)
+	copy(out, row)
+	last := row[len(row)-1]
+	for i := len(row); i < n; i++ {
+		out[i] = last
+	}
+	return out
+}
+
+// padPlane expands a w×h plane to pw×ph by edge replication.
+func padPlane(p []byte, w, h, pw, ph int) []byte {
+	if w == pw && h == ph {
+		return p
+	}
+	out := make([]byte, pw*ph)
+	for y := 0; y < ph; y++ {
+		sy := y
+		if sy >= h {
+			sy = h - 1
+		}
+		dst := out[y*pw : y*pw+pw]
+		src := p[sy*w : sy*w+w]
+		copy(dst, src)
+		last := src[w-1]
+		for x := w; x < pw; x++ {
+			dst[x] = last
+		}
+	}
+	return out
+}
+
+// forwardComponent runs level shift, forward DCT and quantization over
+// every block of a padded plane.
+func forwardComponent(plane []byte, info PlaneInfo, quant *[64]uint16) []int32 {
+	pw := info.PlaneW()
+	out := make([]int32, info.Blocks()*64)
+	var blk [64]int32
+	for by := 0; by < info.BlockRows; by++ {
+		for bx := 0; bx < info.BlocksPerRow; bx++ {
+			for y := 0; y < 8; y++ {
+				base := (by*8+y)*pw + bx*8
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = int32(plane[base+x]) - 128
+				}
+			}
+			dct.ForwardInt(&blk)
+			dst := out[(by*info.BlocksPerRow+bx)*64:]
+			for i := 0; i < 64; i++ {
+				// ForwardInt output is scaled by 8.
+				d := int32(quant[i]) * 8
+				v := blk[i]
+				if v >= 0 {
+					dst[i] = (v + d/2) / d
+				} else {
+					dst[i] = -((-v + d/2) / d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scanEmitter abstracts the two encoder passes: statistics gathering and
+// actual bit emission.
+type scanEmitter interface {
+	emitDC(tab int, sym byte, bits uint32, n uint)
+	emitAC(tab int, sym byte, bits uint32, n uint)
+	restart(i int)
+}
+
+type tableSet struct {
+	dc [2]*huffman.Table
+	ac [2]*huffman.Table
+}
+
+type bitEmitter struct {
+	w    *bitstream.Writer
+	tabs *tableSet
+}
+
+func (e *bitEmitter) emitDC(tab int, sym byte, bits uint32, n uint) {
+	_ = e.tabs.dc[tab].Encode(e.w, sym)
+	e.w.WriteBits(bits, n)
+}
+
+func (e *bitEmitter) emitAC(tab int, sym byte, bits uint32, n uint) {
+	_ = e.tabs.ac[tab].Encode(e.w, sym)
+	e.w.WriteBits(bits, n)
+}
+
+func (e *bitEmitter) restart(i int) {
+	e.w.WriteRestartMarker(i)
+}
+
+type freqCounter struct {
+	dc *[2][256]int64
+	ac *[2][256]int64
+}
+
+func (c *freqCounter) emitDC(tab int, sym byte, bits uint32, n uint) { c.dc[tab][sym]++ }
+func (c *freqCounter) emitAC(tab int, sym byte, bits uint32, n uint) { c.ac[tab][sym]++ }
+func (c *freqCounter) restart(i int)                                 {}
+
+// encodeScan walks MCUs in scan order, entropy-encoding every block.
+func encodeScan(em scanEmitter, comps []jfif.Component, coeffs [][]int32, infos [3]PlaneInfo, mcusPerRow, mcuRows, restartInterval int) error {
+	var dcPred [3]int32
+	mcuCount := 0
+	rstIdx := 0
+	for my := 0; my < mcuRows; my++ {
+		for mx := 0; mx < mcusPerRow; mx++ {
+			if restartInterval > 0 && mcuCount == restartInterval {
+				em.restart(rstIdx)
+				rstIdx = (rstIdx + 1) & 7
+				mcuCount = 0
+				dcPred = [3]int32{}
+			}
+			for ci, comp := range comps {
+				tabDC := comp.DCSel
+				tabAC := comp.ACSel
+				info := infos[ci]
+				for v := 0; v < comp.V; v++ {
+					for h := 0; h < comp.H; h++ {
+						bx := mx*comp.H + h
+						by := my*comp.V + v
+						blk := coeffs[ci][(by*info.BlocksPerRow+bx)*64:]
+						encodeBlock(em, blk[:64], tabDC, tabAC, &dcPred[ci])
+					}
+				}
+			}
+			mcuCount++
+		}
+	}
+	return nil
+}
+
+func encodeBlock(em scanEmitter, blk []int32, tabDC, tabAC int, pred *int32) {
+	diff := blk[0] - *pred
+	*pred = blk[0]
+	cat, bits := magnitude(diff)
+	em.emitDC(tabDC, byte(cat), bits, cat)
+
+	run := 0
+	for k := 1; k < 64; k++ {
+		v := blk[jfif.ZigZag[k]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			em.emitAC(tabAC, 0xF0, 0, 0) // ZRL
+			run -= 16
+		}
+		cat, bits := magnitude(v)
+		em.emitAC(tabAC, byte(run<<4)|byte(cat), bits, cat)
+		run = 0
+	}
+	if run > 0 {
+		em.emitAC(tabAC, 0x00, 0, 0) // EOB
+	}
+}
+
+// magnitude returns the category (bit length) and the encoded magnitude
+// bits for a coefficient value per T.81 F.1.2.1.
+func magnitude(v int32) (uint, uint32) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	cat := uint(0)
+	for a > 0 {
+		cat++
+		a >>= 1
+	}
+	if v < 0 {
+		return cat, uint32(v + (1 << cat) - 1)
+	}
+	return cat, uint32(v)
+}

@@ -1,0 +1,203 @@
+package jpegcodec
+
+import (
+	"errors"
+	"fmt"
+
+	"hetjpeg/internal/bitstream"
+	"hetjpeg/internal/huffman"
+	"hetjpeg/internal/jfif"
+)
+
+// EntropyDecoder performs sequential Huffman decoding of a frame's
+// entropy-coded segment into the whole-image coefficient buffer. It is
+// chunk-oriented: callers decode a number of MCU rows at a time (the
+// pipelined schedulers of Sections 4.5/5.2 interleave these chunks with
+// device work) and can query the exact number of entropy bits each MCU
+// row consumed (PPS re-partitioning, Equations 16-17).
+type EntropyDecoder struct {
+	f   *Frame
+	r   *bitstream.Reader
+	dc  []int32 // DC predictor per component
+	row int     // next MCU row to decode
+
+	discard bool
+	scratch [64]int32
+
+	mcusSinceRestart int
+
+	// BitsPerRow[i] is the number of entropy bits MCU row i consumed.
+	BitsPerRow []int64
+	// BlocksPerRow is the number of coefficient blocks per MCU row.
+	blocksPerMCURow int
+}
+
+// NewEntropyDecoder prepares chunked entropy decoding for f.
+func NewEntropyDecoder(f *Frame) *EntropyDecoder {
+	blocks := 0
+	for _, c := range f.Img.Components {
+		blocks += c.H * c.V
+	}
+	return &EntropyDecoder{
+		f:               f,
+		r:               bitstream.NewReader(f.Img.EntropyData),
+		dc:              make([]int32, len(f.Img.Components)),
+		BitsPerRow:      make([]int64, 0, f.MCURows),
+		blocksPerMCURow: blocks * f.MCUsPerRow,
+	}
+}
+
+// NewEntropyDecoderDiscard prepares a decode pass that discards the
+// coefficients, recording only per-row bit counts. f may come from
+// NewFrameGeometry (no buffers). Profiling uses this to measure entropy
+// density distribution without whole-image allocations.
+func NewEntropyDecoderDiscard(f *Frame) *EntropyDecoder {
+	d := NewEntropyDecoder(f)
+	d.discard = true
+	return d
+}
+
+// Row returns the next MCU row index to be decoded.
+func (d *EntropyDecoder) Row() int { return d.row }
+
+// Done reports whether the whole image has been entropy decoded.
+func (d *EntropyDecoder) Done() bool { return d.row >= d.f.MCURows }
+
+// TotalRows returns the number of MCU rows in the image.
+func (d *EntropyDecoder) TotalRows() int { return d.f.MCURows }
+
+// bitPos returns the reader's position in bits, net of buffered bits.
+func (d *EntropyDecoder) bitPos() int64 {
+	return int64(d.r.BytePos())*8 - int64(d.r.BitsBuffered())
+}
+
+// DecodeRows entropy-decodes MCU rows [row, row+n) into the coefficient
+// buffer, returning the number of rows actually decoded.
+func (d *EntropyDecoder) DecodeRows(n int) (int, error) {
+	decoded := 0
+	for ; n > 0 && d.row < d.f.MCURows; n-- {
+		start := d.bitPos()
+		if err := d.decodeMCURow(d.row); err != nil {
+			return decoded, fmt.Errorf("jpegcodec: entropy decode of MCU row %d: %w", d.row, err)
+		}
+		d.BitsPerRow = append(d.BitsPerRow, d.bitPos()-start)
+		d.row++
+		decoded++
+	}
+	return decoded, nil
+}
+
+// DecodeAll decodes every remaining MCU row.
+func (d *EntropyDecoder) DecodeAll() error {
+	_, err := d.DecodeRows(d.f.MCURows - d.row)
+	return err
+}
+
+func (d *EntropyDecoder) decodeMCURow(m int) error {
+	f := d.f
+	im := f.Img
+	ri := im.RestartInterval
+	for mx := 0; mx < f.MCUsPerRow; mx++ {
+		if ri > 0 && d.mcusSinceRestart == ri {
+			if _, err := d.r.SkipRestartMarker(); err != nil {
+				return err
+			}
+			for i := range d.dc {
+				d.dc[i] = 0
+			}
+			d.mcusSinceRestart = 0
+		}
+		for ci, comp := range im.Components {
+			dcTab := im.DCTables[comp.DCSel]
+			acTab := im.ACTables[comp.ACSel]
+			if dcTab == nil || acTab == nil {
+				return errors.New("missing Huffman table")
+			}
+			for v := 0; v < comp.V; v++ {
+				for h := 0; h < comp.H; h++ {
+					var blk []int32
+					if d.discard {
+						d.scratch = [64]int32{}
+						blk = d.scratch[:]
+					} else {
+						blk = f.Block(ci, mx*comp.H+h, m*comp.V+v)
+					}
+					if err := d.decodeBlock(blk, ci, dcTab, acTab); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		d.mcusSinceRestart++
+	}
+	return nil
+}
+
+// decodeBlock reads one 8x8 block: DC difference then AC run-lengths,
+// writing coefficients in natural order (de-zigzagged).
+func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffman.Table) error {
+	// DC coefficient.
+	t, err := dcTab.Decode(d.r)
+	if err != nil {
+		return err
+	}
+	if t > 15 {
+		return fmt.Errorf("bad DC category %d", t)
+	}
+	diff := int32(0)
+	if t > 0 {
+		bits, err := d.r.ReadBits(uint(t))
+		if err != nil {
+			return err
+		}
+		diff = extend(bits, uint(t))
+	}
+	d.dc[comp] += diff
+	blk[0] = d.dc[comp]
+
+	// AC coefficients.
+	for k := 1; k < 64; {
+		rs, err := acTab.Decode(d.r)
+		if err != nil {
+			return err
+		}
+		r := int(rs >> 4)
+		s := uint(rs & 0xF)
+		if s == 0 {
+			if r == 15 { // ZRL: sixteen zeros
+				k += 16
+				continue
+			}
+			break // EOB
+		}
+		k += r
+		if k > 63 {
+			return fmt.Errorf("AC run overflows block (k=%d)", k)
+		}
+		bits, err := d.r.ReadBits(s)
+		if err != nil {
+			return err
+		}
+		blk[jfif.ZigZag[k]] = extend(bits, s)
+		k++
+	}
+	return nil
+}
+
+// extend implements the EXTEND procedure of T.81 F.2.2.1: map a magnitude
+// category value to its signed coefficient.
+func extend(v uint32, t uint) int32 {
+	if v < 1<<(t-1) {
+		return int32(v) - int32(1<<t) + 1
+	}
+	return int32(v)
+}
+
+// EntropyBitsTotal returns the total entropy bits consumed so far.
+func (d *EntropyDecoder) EntropyBitsTotal() int64 {
+	var s int64
+	for _, b := range d.BitsPerRow {
+		s += b
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+// Package jpegcodec implements the baseline JPEG encoder and the
+// re-engineered decoder core of the paper's Section 3: a whole-image
+// coefficient buffer below the traditional MCU-row machinery, so that
+// entropy decoding (sequential, CPU-only) is decoupled from the
+// data-parallel stages (dequantization, IDCT, upsampling, color
+// conversion) that heterogeneous schedulers distribute freely.
+package jpegcodec
+
+import (
+	"fmt"
+
+	"hetjpeg/internal/jfif"
+)
+
+// PlaneInfo describes the padded sample geometry of one component.
+type PlaneInfo struct {
+	// CompW, CompH are the unpadded component dimensions in samples
+	// (image dimensions divided by the subsampling ratio, rounded up).
+	CompW, CompH int
+	// BlocksPerRow, BlockRows are the padded block-grid dimensions;
+	// padding aligns every component to whole MCUs.
+	BlocksPerRow, BlockRows int
+	// H, V are the component's sampling factors.
+	H, V int
+}
+
+// PlaneW returns the padded plane width in samples.
+func (p PlaneInfo) PlaneW() int { return p.BlocksPerRow * 8 }
+
+// PlaneH returns the padded plane height in samples.
+func (p PlaneInfo) PlaneH() int { return p.BlockRows * 8 }
+
+// Blocks returns the total number of 8x8 blocks in the plane.
+func (p PlaneInfo) Blocks() int { return p.BlocksPerRow * p.BlockRows }
+
+// Frame is the whole-image decode state: parsed structure, the quantized
+// coefficient buffer filled by entropy decoding, and the sample planes
+// filled by the parallel phase.
+type Frame struct {
+	Img *jfif.Image
+	Sub jfif.Subsampling
+
+	// MCU grid.
+	MCUWidth, MCUHeight int // in luma pixels
+	MCUsPerRow, MCURows int
+
+	Planes []PlaneInfo
+
+	// Coeff holds quantized DCT coefficients per component, blocks in
+	// raster order, 64 int32 per block in natural (row-major) order.
+	// This is the paper's whole-image input buffer: large contiguous
+	// transfers to an accelerator need no re-layout.
+	Coeff [][]int32
+
+	// Samples holds the reconstructed (post-IDCT) planes, padded
+	// geometry, one byte per sample.
+	Samples [][]byte
+}
+
+// NewFrameGeometry builds only the geometric view of a parsed image,
+// without allocating the whole-image coefficient and sample buffers.
+// Profiling uses it to summarize large corpora cheaply.
+func NewFrameGeometry(im *jfif.Image) (*Frame, error) {
+	f, err := newFrame(im, false)
+	return f, err
+}
+
+// NewFrame builds the decode state for a parsed image.
+func NewFrame(im *jfif.Image) (*Frame, error) {
+	return newFrame(im, true)
+}
+
+func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
+	sub, err := im.Subsampling()
+	if err != nil {
+		return nil, err
+	}
+	if im.Width <= 0 || im.Height <= 0 {
+		return nil, fmt.Errorf("jpegcodec: bad dimensions %dx%d", im.Width, im.Height)
+	}
+	f := &Frame{Img: im, Sub: sub}
+	f.MCUWidth, f.MCUHeight = sub.MCUPixels()
+	f.MCUsPerRow = (im.Width + f.MCUWidth - 1) / f.MCUWidth
+	f.MCURows = (im.Height + f.MCUHeight - 1) / f.MCUHeight
+
+	f.Planes = make([]PlaneInfo, len(im.Components))
+	f.Coeff = make([][]int32, len(im.Components))
+	f.Samples = make([][]byte, len(im.Components))
+	hMax, vMax := 1, 1
+	for _, c := range im.Components {
+		if c.H > hMax {
+			hMax = c.H
+		}
+		if c.V > vMax {
+			vMax = c.V
+		}
+	}
+	for i, c := range im.Components {
+		p := PlaneInfo{
+			CompW:        (im.Width*c.H + hMax - 1) / hMax,
+			CompH:        (im.Height*c.V + vMax - 1) / vMax,
+			BlocksPerRow: f.MCUsPerRow * c.H,
+			BlockRows:    f.MCURows * c.V,
+			H:            c.H,
+			V:            c.V,
+		}
+		f.Planes[i] = p
+		if alloc {
+			f.Coeff[i] = make([]int32, p.Blocks()*64)
+			f.Samples[i] = make([]byte, p.PlaneW()*p.PlaneH())
+		}
+	}
+	return f, nil
+}
+
+// Block returns the 64-coefficient slice of block (bx, by) of component c.
+func (f *Frame) Block(c, bx, by int) []int32 {
+	p := f.Planes[c]
+	idx := (by*p.BlocksPerRow + bx) * 64
+	return f.Coeff[c][idx : idx+64 : idx+64]
+}
+
+// CoeffRows returns the coefficient slice covering MCU rows [m0, m1) of
+// component c — the unit the scheduler transfers to a device.
+func (f *Frame) CoeffRows(c, m0, m1 int) []int32 {
+	p := f.Planes[c]
+	b0 := m0 * p.V * p.BlocksPerRow * 64
+	b1 := m1 * p.V * p.BlocksPerRow * 64
+	return f.Coeff[c][b0:b1]
+}
+
+// CoeffBytes returns the byte size of the coefficient data for MCU rows
+// [m0, m1) across all components (what a host→device transfer moves; the
+// wire format is int16 per coefficient, as in the paper's short buffers).
+func (f *Frame) CoeffBytes(m0, m1 int) int {
+	n := 0
+	for c := range f.Planes {
+		p := f.Planes[c]
+		n += (m1 - m0) * p.V * p.BlocksPerRow * 64 * 2
+	}
+	return n
+}
+
+// RGBBytes returns the byte size of the interleaved RGB output for MCU
+// rows [m0, m1) (device→host transfer size).
+func (f *Frame) RGBBytes(m0, m1 int) int {
+	r0, r1 := m0*f.MCUHeight, m1*f.MCUHeight
+	if r1 > f.Img.Height {
+		r1 = f.Img.Height
+	}
+	if r0 > r1 {
+		r0 = r1
+	}
+	return (r1 - r0) * f.Img.Width * 3
+}
+
+// PixelRows maps MCU row range [m0, m1) to luma pixel rows, clamped to the
+// image height.
+func (f *Frame) PixelRows(m0, m1 int) (int, int) {
+	r0 := m0 * f.MCUHeight
+	r1 := m1 * f.MCUHeight
+	if r1 > f.Img.Height {
+		r1 = f.Img.Height
+	}
+	if r0 > f.Img.Height {
+		r0 = f.Img.Height
+	}
+	return r0, r1
+}
+
+// TotalBlocks returns the number of 8x8 blocks across all components.
+func (f *Frame) TotalBlocks() int {
+	n := 0
+	for _, p := range f.Planes {
+		n += p.Blocks()
+	}
+	return n
+}
+
+// RGBImage is a decoded image: interleaved 8-bit RGB.
+type RGBImage struct {
+	W, H int
+	Pix  []byte // len = W*H*3
+}
+
+// NewRGBImage allocates a w×h RGB image.
+func NewRGBImage(w, h int) *RGBImage {
+	return &RGBImage{W: w, H: h, Pix: make([]byte, w*h*3)}
+}
+
+// At returns the pixel at (x, y).
+func (im *RGBImage) At(x, y int) (r, g, b byte) {
+	i := (y*im.W + x) * 3
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y).
+func (im *RGBImage) Set(x, y int, r, g, b byte) {
+	i := (y*im.W + x) * 3
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}

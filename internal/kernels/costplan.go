@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"fmt"
+
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/platform"
+	"hetjpeg/internal/sim"
+)
+
+// CostPlan returns the virtual cost records DecodeChunk would produce for
+// MCU rows [m0, m1) with color-converted pixel rows [y0, y1) (pass -1 for
+// the chunk's natural rows), without executing any pixel work. The
+// performance model's offline profiler uses it to sweep thousands of
+// training images cheaply; a test asserts it stays identical to the
+// executed costs.
+func CostPlan(spec *platform.Spec, f *jpegcodec.Frame, m0, m1, y0, y1 int, merged bool) []CostRecord {
+	dev := dryDevice{spec}
+	var recs []CostRecord
+	r0, r1 := f.PixelRows(m0, m1)
+	if y0 < 0 {
+		y0 = r0
+	}
+	if y1 < 0 {
+		y1 = r1
+	}
+
+	bytes := 0
+	for _, p := range f.Planes {
+		bytes += (m1 - m0) * p.V * p.BlocksPerRow * 64 * 2
+	}
+	recs = append(recs, CostRecord{sim.KindHostToDevice, fmt.Sprintf("h2d[%d,%d)", m0, m1), spec.TransferNs(bytes)})
+
+	switch {
+	case f.Sub == jfif.SubGray:
+		recs = append(recs, dev.idctCost(f, m0, m1))
+		recs = append(recs, dev.grayCost(f, y0, y1))
+	case f.Sub == jfif.Sub444 && merged:
+		recs = append(recs, dev.merged444Cost(f, m0, m1))
+	case f.Sub == jfif.Sub444:
+		recs = append(recs, dev.idctCost(f, m0, m1))
+		recs = append(recs, dev.color444Cost(f, y0, y1))
+	case merged:
+		recs = append(recs, dev.idctCost(f, m0, m1))
+		recs = append(recs, dev.upsampleColorCost(f, y0, y1))
+	default:
+		recs = append(recs, dev.idctCost(f, m0, m1))
+		recs = append(recs, dev.upsampleCost(f, y0, y1))
+		recs = append(recs, dev.colorUpsCost(f, y0, y1))
+	}
+
+	n := (y1 - y0) * f.Img.Width * 3
+	if n < 0 {
+		n = 0
+	}
+	recs = append(recs, CostRecord{sim.KindDeviceToHost, fmt.Sprintf("d2h[%d,%d)", y0, y1), spec.TransferNs(n)})
+	return recs
+}
+
+// dryDevice wraps cost-only versions of the kernel geometry math so that
+// CostPlan and the executing Engine share formulas via costOf.
+type dryDevice struct{ spec *platform.Spec }
+
+func (d dryDevice) costOf(ops, bytes float64, groups, localInt32 int) float64 {
+	return d.spec.KernelCostNs(ops, bytes, groups, localInt32, 0)
+}
+
+func (d dryDevice) idctCost(f *jpegcodec.Frame, m0, m1 int) CostRecord {
+	nBlocks := 0
+	for _, p := range f.Planes {
+		nBlocks += (m1 - m0) * p.V * p.BlocksPerRow
+	}
+	gb := d.spec.WorkGroupBlocks
+	groups := (nBlocks + gb - 1) / gb
+	ops := float64(nBlocks)*opsIDCTPerBlock + float64(groups*gb*8)*opsAddressPerItem
+	bytes := float64(nBlocks) * (128 + 64)
+	return CostRecord{sim.KindIDCT, fmt.Sprintf("idct[%d,%d)x%d", m0, m1, nBlocks), d.costOf(ops, bytes, groups, gb*64)}
+}
+
+func (d dryDevice) merged444Cost(f *jpegcodec.Frame, m0, m1 int) CostRecord {
+	p := f.Planes[0]
+	nBlocks := (m1 - m0) * p.V * p.BlocksPerRow
+	gb := d.spec.WorkGroupBlocks
+	groups := (nBlocks + gb - 1) / gb
+	pixels := (m1 - m0) * p.V * 8 * p.PlaneW()
+	ops := float64(nBlocks)*3*opsIDCTPerBlock + float64(pixels)*opsColorPerPix + float64(groups*gb*8)*opsAddressPerItem
+	bytes := float64(nBlocks)*3*128 + float64(pixels)*3
+	return CostRecord{sim.KindMergedKernel, fmt.Sprintf("merged444[%d,%d)", m0, m1), d.costOf(ops, bytes, groups, gb*192)}
+}
+
+func (d dryDevice) upsampleColorCost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindMergedKernel, "upsample_color(empty)", d.spec.GPU.LaunchNs}
+	}
+	w := f.Img.Width
+	segsPerRow := (w + 7) / 8
+	items := rows * segsPerRow
+	groups := (items + 127) / 128
+	upsOps := opsUps422PerPix
+	if f.Sub == jfif.Sub420 {
+		upsOps = opsUps420PerPix
+	}
+	pixels := rows * w
+	ops := float64(pixels)*(upsOps+opsColorPerPix) + float64(groups*128)*opsAddressPerItem
+	bytes := float64(pixels) * 5
+	return CostRecord{sim.KindMergedKernel, fmt.Sprintf("upsample_color[%d,%d)", r0, r1), d.costOf(ops, bytes, groups, 0)}
+}
+
+func (d dryDevice) color444Cost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindColor, "color(empty)", d.spec.GPU.LaunchNs}
+	}
+	w := f.Img.Width
+	items := rows * ((w + 3) / 4)
+	groups := (items + 127) / 128
+	pixels := rows * w
+	ops := float64(pixels)*opsColorPerPix + float64(groups*128)*opsAddressPerItem
+	return CostRecord{sim.KindColor, fmt.Sprintf("color444[%d,%d)", r0, r1), d.costOf(ops, float64(pixels)*6, groups, 0)}
+}
+
+func (d dryDevice) upsampleCost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindUpsample, "upsample(empty)", d.spec.GPU.LaunchNs}
+	}
+	ypw := f.Planes[0].PlaneW()
+	segsPerRow := (ypw + 7) / 8
+	items := rows * segsPerRow * 2
+	groups := (items + 127) / 128
+	upsOps := opsUps422PerPix
+	if f.Sub == jfif.Sub420 {
+		upsOps = opsUps420PerPix
+	}
+	outSamples := rows * ypw * 2
+	ops := float64(outSamples)*upsOps + float64(groups*128)*opsAddressPerItem
+	return CostRecord{sim.KindUpsample, fmt.Sprintf("upsample[%d,%d)", r0, r1), d.costOf(ops, float64(outSamples)*1.5, groups, 0)}
+}
+
+func (d dryDevice) colorUpsCost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindColor, "color(empty)", d.spec.GPU.LaunchNs}
+	}
+	w := f.Img.Width
+	items := rows * ((w + 3) / 4)
+	groups := (items + 127) / 128
+	pixels := rows * w
+	ops := float64(pixels)*opsColorPerPix + float64(groups*128)*opsAddressPerItem
+	return CostRecord{sim.KindColor, fmt.Sprintf("color_ups[%d,%d)", r0, r1), d.costOf(ops, float64(pixels)*6, groups, 0)}
+}
+
+func (d dryDevice) grayCost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindColor, "gray(empty)", d.spec.GPU.LaunchNs}
+	}
+	w := f.Img.Width
+	items := rows * ((w + 7) / 8)
+	groups := (items + 127) / 128
+	pixels := rows * w
+	ops := float64(pixels)*2 + float64(groups*128)*opsAddressPerItem
+	return CostRecord{sim.KindColor, fmt.Sprintf("gray[%d,%d)", r0, r1), d.costOf(ops, float64(pixels)*4, groups, 0)}
+}

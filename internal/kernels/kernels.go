@@ -1,0 +1,594 @@
+// Package kernels implements the paper's OpenCL kernels (Section 4) on
+// the simulated device: the IDCT kernel (8 work-items per block, column
+// pass into registers, row pass through local memory), the 4:2:2
+// upsampling kernel, the color-conversion kernel, and the merged kernels
+// of Section 4.4 (IDCT+color for 4:4:4, upsampling+color for 4:2:2 and
+// the 4:2:0 extension). An Engine owns the device-resident buffers for
+// one frame and decodes chunks of MCU rows, returning the virtual cost of
+// every operation.
+package kernels
+
+import (
+	"fmt"
+
+	"hetjpeg/internal/color"
+	"hetjpeg/internal/dct"
+	"hetjpeg/internal/gpusim"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/sim"
+)
+
+// Operation cost constants (arithmetic ops per unit of work), used by the
+// device cost model.
+const (
+	opsIDCTPerBlock   = 640.0 // 16 1-D passes + dequantization + stores
+	opsColorPerPix    = 12.0
+	opsUps422PerPix   = 5.0
+	opsUps420PerPix   = 8.0
+	opsAddressPerItem = 6.0
+)
+
+// CostRecord reports one device-side operation's virtual time.
+type CostRecord struct {
+	Kind  sim.Kind
+	Label string
+	Ns    float64
+}
+
+// Engine drives the GPU parallel phase for one frame. Device buffers are
+// whole-image sized (the Section 3 re-engineering) so chunked transfers
+// land at their final offsets and later chunks may read earlier chunks'
+// samples (needed by the 4:2:0 vertical filter).
+type Engine struct {
+	Dev *gpusim.Device
+	F   *jpegcodec.Frame
+	// Merged selects the Section 4.4 merged kernels (the paper's
+	// configuration); false runs the split kernels for ablation.
+	Merged bool
+
+	coef    []*gpusim.CoefBuffer
+	samples []*gpusim.ByteBuffer
+	upsCb   *gpusim.ByteBuffer // split mode only: full-res upsampled chroma
+	upsCr   *gpusim.ByteBuffer
+	rgb     *gpusim.ByteBuffer
+	quant   [][64]int32
+}
+
+// NewEngine allocates device state for frame f.
+func NewEngine(dev *gpusim.Device, f *jpegcodec.Frame, merged bool) *Engine {
+	e := &Engine{Dev: dev, F: f, Merged: merged}
+	e.coef = make([]*gpusim.CoefBuffer, len(f.Planes))
+	e.samples = make([]*gpusim.ByteBuffer, len(f.Planes))
+	e.quant = make([][64]int32, len(f.Planes))
+	for c, p := range f.Planes {
+		e.coef[c] = dev.NewCoefBuffer(p.Blocks() * 64)
+		e.samples[c] = dev.NewByteBuffer(p.PlaneW() * p.PlaneH())
+		q := f.Img.Quant[f.Img.Components[c].QuantSel]
+		for i, v := range q {
+			e.quant[c][i] = int32(v)
+		}
+	}
+	e.rgb = dev.NewByteBuffer(f.Img.Width * f.Img.Height * 3)
+	if !merged && len(f.Planes) == 3 && f.Sub != jfif.Sub444 {
+		yp := f.Planes[0]
+		e.upsCb = dev.NewByteBuffer(yp.PlaneW() * yp.PlaneH())
+		e.upsCr = dev.NewByteBuffer(yp.PlaneW() * yp.PlaneH())
+	}
+	return e
+}
+
+// DecodeChunk runs the full GPU parallel phase for MCU rows [m0, m1):
+// host-to-device transfer of the chunk's coefficients, the kernel plan
+// for the frame's subsampling, and the device-to-host readback of the
+// finished RGB rows into out (the whole-image output buffer).
+//
+// y0 and y1 bound the pixel rows that are color-converted and read back;
+// pass -1 for the chunk's natural rows. Schedulers shift these bounds at
+// 4:2:0 chunk boundaries, where the vertical triangle filter of an output
+// row needs chroma samples from the next chunk's first block row: the
+// boundary output row is deferred to the later chunk (or to the CPU
+// partition), which by then has all its inputs resident.
+func (e *Engine) DecodeChunk(m0, m1, y0, y1 int, out *jpegcodec.RGBImage) []CostRecord {
+	f := e.F
+	var recs []CostRecord
+	r0, r1 := f.PixelRows(m0, m1)
+	if y0 < 0 {
+		y0 = r0
+	}
+	if y1 < 0 {
+		y1 = r1
+	}
+
+	// Host -> device: one logical transfer for the chunk's coefficient
+	// data across all components (the Y|Cb|Cr buffer layout of Section 4).
+	bytes := 0
+	for c, p := range f.Planes {
+		src := f.CoeffRows(c, m0, m1)
+		off := m0 * p.V * p.BlocksPerRow * 64
+		e.Dev.CopyInAt(e.coef[c], off, src)
+		bytes += len(src) * 2
+	}
+	recs = append(recs, CostRecord{sim.KindHostToDevice, fmt.Sprintf("h2d[%d,%d)", m0, m1), e.Dev.Spec.TransferNs(bytes)})
+
+	// Kernel plan.
+	switch {
+	case f.Sub == jfif.SubGray:
+		recs = append(recs, e.runIDCT(m0, m1))
+		recs = append(recs, e.runGrayColor(y0, y1))
+	case f.Sub == jfif.Sub444 && e.Merged:
+		recs = append(recs, e.runMerged444(m0, m1))
+	case f.Sub == jfif.Sub444:
+		recs = append(recs, e.runIDCT(m0, m1))
+		recs = append(recs, e.runColor444(y0, y1))
+	case e.Merged:
+		recs = append(recs, e.runIDCT(m0, m1))
+		recs = append(recs, e.runUpsampleColor(y0, y1))
+	default:
+		recs = append(recs, e.runIDCT(m0, m1))
+		recs = append(recs, e.runUpsample(y0, y1))
+		recs = append(recs, e.runColorFromUpsampled(y0, y1))
+	}
+
+	// Device -> host readback of finished rows.
+	n := (y1 - y0) * f.Img.Width * 3
+	if n < 0 {
+		n = 0
+	}
+	ns := e.Dev.CopyOutAt(out.Pix, y0*f.Img.Width*3, e.rgb, n)
+	recs = append(recs, CostRecord{sim.KindDeviceToHost, fmt.Sprintf("d2h[%d,%d)", y0, y1), ns})
+	return recs
+}
+
+// blockRef locates one block inside the per-component device buffers.
+type blockRef struct {
+	comp int
+	bx   int
+	by   int
+}
+
+// runIDCT launches the Section 4.1 IDCT kernel over every block of every
+// component in MCU rows [m0, m1) (single launch, Y|Cb|Cr buffer order).
+func (e *Engine) runIDCT(m0, m1 int) CostRecord {
+	f := e.F
+	var refs []blockRef
+	for c, p := range f.Planes {
+		b1 := m1 * p.V
+		for by := m0 * p.V; by < b1; by++ {
+			for bx := 0; bx < p.BlocksPerRow; bx++ {
+				refs = append(refs, blockRef{c, bx, by})
+			}
+		}
+	}
+	nBlocks := len(refs)
+	groupBlocks := e.Dev.Spec.WorkGroupBlocks
+	groups := (nBlocks + groupBlocks - 1) / groupBlocks
+
+	colPass := func(g *gpusim.Group, item int) {
+		bi := g.ID*groupBlocks + item/8
+		if bi >= nBlocks {
+			return
+		}
+		r := refs[bi]
+		p := f.Planes[r.comp]
+		c := item % 8
+		base := (r.by*p.BlocksPerRow + r.bx) * 64
+		cb := e.coef[r.comp].Data[base : base+64 : base+64]
+		q := &e.quant[r.comp]
+		var col [8]int32
+		for k := 0; k < 8; k++ {
+			col[k] = int32(cb[c+8*k]) * q[c+8*k]
+		}
+		local := g.Local[(item/8)*64 : (item/8)*64+64]
+		dct.InverseIntColumn(&col, local, c)
+	}
+	rowPass := func(g *gpusim.Group, item int) {
+		bi := g.ID*groupBlocks + item/8
+		if bi >= nBlocks {
+			return
+		}
+		r := refs[bi]
+		p := f.Planes[r.comp]
+		row := item % 8
+		local := g.Local[(item/8)*64 : (item/8)*64+64]
+		var out [8]int32
+		dct.InverseIntRow(local, row, &out)
+		pw := p.PlaneW()
+		base := (r.by*8+row)*pw + r.bx*8
+		dst := e.samples[r.comp].Data[base : base+8 : base+8]
+		// Vectorized store: 8 samples as two 4-byte vectors (Section 4.1).
+		for x := 0; x < 8; x++ {
+			dst[x] = byte(out[x])
+		}
+	}
+
+	k := &gpusim.Kernel{
+		Name:          "idct",
+		Groups:        groups,
+		ItemsPerGroup: groupBlocks * 8,
+		LocalInt32:    groupBlocks * 64,
+		Phases:        []gpusim.PhaseFunc{colPass, rowPass},
+		Ops:           float64(nBlocks)*opsIDCTPerBlock + float64(groups*groupBlocks*8)*opsAddressPerItem,
+		GlobalBytes:   float64(nBlocks) * (128 + 64), // coef in (int16), samples out
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindIDCT, fmt.Sprintf("idct[%d,%d)x%d", m0, m1, nBlocks), ns}
+}
+
+// runMerged444 is the Section 4.4 merged IDCT + color-conversion kernel
+// for 4:4:4 frames: three column passes (Y, Cb, Cr) into local memory,
+// then a row pass that converts and stores interleaved RGB directly.
+func (e *Engine) runMerged444(m0, m1 int) CostRecord {
+	f := e.F
+	p := f.Planes[0]
+	b0, b1 := m0*p.V, m1*p.V
+	nBlocks := (b1 - b0) * p.BlocksPerRow
+	groupBlocks := e.Dev.Spec.WorkGroupBlocks
+	groups := (nBlocks + groupBlocks - 1) / groupBlocks
+	w, h := f.Img.Width, f.Img.Height
+
+	locate := func(g *gpusim.Group, item int) (bx, by int, ok bool) {
+		bi := g.ID*groupBlocks + item/8
+		if bi >= nBlocks {
+			return 0, 0, false
+		}
+		bi += b0 * p.BlocksPerRow
+		return bi % p.BlocksPerRow, bi / p.BlocksPerRow, true
+	}
+
+	colPassFor := func(comp int) gpusim.PhaseFunc {
+		return func(g *gpusim.Group, item int) {
+			bx, by, ok := locate(g, item)
+			if !ok {
+				return
+			}
+			c := item % 8
+			base := (by*p.BlocksPerRow + bx) * 64
+			cb := e.coef[comp].Data[base : base+64 : base+64]
+			q := &e.quant[comp]
+			var col [8]int32
+			for k := 0; k < 8; k++ {
+				col[k] = int32(cb[c+8*k]) * q[c+8*k]
+			}
+			local := g.Local[(item/8)*192+comp*64 : (item/8)*192+comp*64+64]
+			dct.InverseIntColumn(&col, local, c)
+		}
+	}
+	rowPass := func(g *gpusim.Group, item int) {
+		bx, by, ok := locate(g, item)
+		if !ok {
+			return
+		}
+		row := item % 8
+		base := (item / 8) * 192
+		var yv, cbv, crv [8]int32
+		dct.InverseIntRow(g.Local[base:base+64], row, &yv)
+		dct.InverseIntRow(g.Local[base+64:base+128], row, &cbv)
+		dct.InverseIntRow(g.Local[base+128:base+192], row, &crv)
+		py := by*8 + row
+		if py >= h {
+			return
+		}
+		for x := 0; x < 8; x++ {
+			px := bx*8 + x
+			if px >= w {
+				continue
+			}
+			r, gg, b := color.YCbCrToRGB(yv[x], cbv[x], crv[x])
+			i := (py*w + px) * 3
+			e.rgb.Data[i], e.rgb.Data[i+1], e.rgb.Data[i+2] = r, gg, b
+		}
+	}
+
+	pixels := (b1 - b0) * 8 * p.PlaneW()
+	k := &gpusim.Kernel{
+		Name:          "merged_idct_color_444",
+		Groups:        groups,
+		ItemsPerGroup: groupBlocks * 8,
+		LocalInt32:    groupBlocks * 192,
+		Phases:        []gpusim.PhaseFunc{colPassFor(0), colPassFor(1), colPassFor(2), rowPass},
+		Ops:           float64(nBlocks)*3*opsIDCTPerBlock + float64(pixels)*opsColorPerPix + float64(groups*groupBlocks*8)*opsAddressPerItem,
+		GlobalBytes:   float64(nBlocks)*3*128 + float64(pixels)*3, // coef in x3, RGB out; no intermediate traffic
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindMergedKernel, fmt.Sprintf("merged444[%d,%d)", m0, m1), ns}
+}
+
+// runUpsampleColor is the Section 4.4 merged upsampling + color kernel
+// for 4:2:2 (and the 4:2:0 extension): each work-item upsamples the
+// chroma for one 8-pixel output segment in registers, loads the matching
+// luma row, converts and stores RGB. Work-group shape keeps all 16 items
+// of a block on the same branch (no divergence, Section 4.2).
+func (e *Engine) runUpsampleColor(r0, r1 int) CostRecord {
+	f := e.F
+	w, h := f.Img.Width, f.Img.Height
+	yp := f.Planes[0]
+	cp := f.Planes[1]
+	ypw, cpw := yp.PlaneW(), cp.PlaneW()
+	cph := cp.PlaneH()
+	ySam := e.samples[0].Data
+	cbSam := e.samples[1].Data
+	crSam := e.samples[2].Data
+
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindMergedKernel, "upsample_color(empty)", e.Dev.Spec.GPU.LaunchNs}
+	}
+	// One item produces one 8-pixel output segment.
+	segsPerRow := (w + 7) / 8
+	items := rows * segsPerRow
+	groupItems := 128 // the paper's merged work-group: 128 items
+	groups := (items + groupItems - 1) / groupItems
+
+	is420 := f.Sub == jfif.Sub420
+
+	phase := func(g *gpusim.Group, item int) {
+		gi := g.ID*groupItems + item
+		if gi >= items {
+			return
+		}
+		py := r0 + gi/segsPerRow
+		x0 := (gi % segsPerRow) * 8
+		// Upsample 8 chroma samples into "registers".
+		var cbv, crv [8]int32
+		if is420 {
+			for x := 0; x < 8 && x0+x < w; x++ {
+				cbv[x] = int32(color.UpsampleH2V2At(cbSam, cpw, cph, x0+x, py))
+				crv[x] = int32(color.UpsampleH2V2At(crSam, cpw, cph, x0+x, py))
+			}
+		} else {
+			cRow := cbSam[py*cpw : py*cpw+cpw]
+			rRow := crSam[py*cpw : py*cpw+cpw]
+			for x := 0; x < 8 && x0+x < w; x++ {
+				cbv[x] = int32(color.UpsampleH2V1At(cRow, cpw, x0+x))
+				crv[x] = int32(color.UpsampleH2V1At(rRow, cpw, x0+x))
+			}
+		}
+		// Load the luma row and convert.
+		yRow := ySam[py*ypw:]
+		for x := 0; x < 8; x++ {
+			px := x0 + x
+			if px >= w || py >= h {
+				continue
+			}
+			r, gg, b := color.YCbCrToRGB(int32(yRow[px]), cbv[x], crv[x])
+			i := (py*w + px) * 3
+			e.rgb.Data[i], e.rgb.Data[i+1], e.rgb.Data[i+2] = r, gg, b
+		}
+	}
+
+	upsOps := opsUps422PerPix
+	if is420 {
+		upsOps = opsUps420PerPix
+	}
+	pixels := rows * w
+	k := &gpusim.Kernel{
+		Name:          "merged_upsample_color",
+		Groups:        groups,
+		ItemsPerGroup: groupItems,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(pixels)*(upsOps+opsColorPerPix) + float64(groups*groupItems)*opsAddressPerItem,
+		GlobalBytes:   float64(pixels) * (1 + 1 + 3), // luma in, chroma in (2 half-res planes), RGB out
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindMergedKernel, fmt.Sprintf("upsample_color[%d,%d)", r0, r1), ns}
+}
+
+// runColor444 is the standalone color-conversion kernel (Section 4.3),
+// used in split (non-merged) mode for 4:4:4 frames.
+func (e *Engine) runColor444(r0, r1 int) CostRecord {
+	f := e.F
+	w, h := f.Img.Width, f.Img.Height
+	pw := f.Planes[0].PlaneW()
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindColor, "color(empty)", e.Dev.Spec.GPU.LaunchNs}
+	}
+	segsPerRow := (w + 3) / 4 // one item converts 4 pixels (vectorized, Fig. 4)
+	items := rows * segsPerRow
+	groupItems := 128
+	groups := (items + groupItems - 1) / groupItems
+	ySam, cbSam, crSam := e.samples[0].Data, e.samples[1].Data, e.samples[2].Data
+
+	phase := func(g *gpusim.Group, item int) {
+		gi := g.ID*groupItems + item
+		if gi >= items {
+			return
+		}
+		py := r0 + gi/segsPerRow
+		x0 := (gi % segsPerRow) * 4
+		if py >= h {
+			return
+		}
+		for x := x0; x < x0+4 && x < w; x++ {
+			r, gg, b := color.YCbCrToRGB(int32(ySam[py*pw+x]), int32(cbSam[py*pw+x]), int32(crSam[py*pw+x]))
+			i := (py*w + x) * 3
+			e.rgb.Data[i], e.rgb.Data[i+1], e.rgb.Data[i+2] = r, gg, b
+		}
+	}
+	pixels := rows * w
+	k := &gpusim.Kernel{
+		Name:          "color_444",
+		Groups:        groups,
+		ItemsPerGroup: groupItems,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(pixels)*opsColorPerPix + float64(groups*groupItems)*opsAddressPerItem,
+		GlobalBytes:   float64(pixels) * (3 + 3), // Y,Cb,Cr in; RGB out
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindColor, fmt.Sprintf("color444[%d,%d)", r0, r1), ns}
+}
+
+// runUpsample is the standalone Section 4.2 upsampling kernel (split
+// mode): expands the chroma planes to full resolution into dedicated
+// device buffers. The odd/even work-item split follows Algorithm 1; the
+// end-pixel if-statement is charged as branch divergence when the
+// work-group shape does not isolate it (the paper avoids it by shape).
+func (e *Engine) runUpsample(r0, r1 int) CostRecord {
+	f := e.F
+	yp := f.Planes[0]
+	cp := f.Planes[1]
+	ypw, cpw := yp.PlaneW(), cp.PlaneW()
+	cph := cp.PlaneH()
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindUpsample, "upsample(empty)", e.Dev.Spec.GPU.LaunchNs}
+	}
+	// Two items per (component, output row, chroma block): each produces
+	// an 8-pixel half of the 16-pixel output row (Section 4.2).
+	segsPerRow := (ypw + 7) / 8
+	items := rows * segsPerRow * 2 // two chroma components
+	groupItems := 128
+	groups := (items + groupItems - 1) / groupItems
+	is420 := f.Sub == jfif.Sub420
+	cbSam, crSam := e.samples[1].Data, e.samples[2].Data
+
+	phase := func(g *gpusim.Group, item int) {
+		gi := g.ID*groupItems + item
+		if gi >= items {
+			return
+		}
+		comp := gi % 2
+		gi /= 2
+		py := r0 + gi/segsPerRow
+		x0 := (gi % segsPerRow) * 8
+		src, dst := cbSam, e.upsCb.Data
+		if comp == 1 {
+			src, dst = crSam, e.upsCr.Data
+		}
+		if is420 {
+			for x := x0; x < x0+8 && x < ypw; x++ {
+				dst[py*ypw+x] = color.UpsampleH2V2At(src, cpw, cph, x, py)
+			}
+		} else {
+			row := src[py*cpw : py*cpw+cpw]
+			for x := x0; x < x0+8 && x < ypw; x++ {
+				dst[py*ypw+x] = color.UpsampleH2V1At(row, cpw, x)
+			}
+		}
+	}
+	upsOps := opsUps422PerPix
+	if is420 {
+		upsOps = opsUps420PerPix
+	}
+	outSamples := rows * ypw * 2
+	k := &gpusim.Kernel{
+		Name:          "upsample",
+		Groups:        groups,
+		ItemsPerGroup: groupItems,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(outSamples)*upsOps + float64(groups*groupItems)*opsAddressPerItem,
+		GlobalBytes:   float64(outSamples) * (0.5 + 1), // half-res in, full-res out
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindUpsample, fmt.Sprintf("upsample[%d,%d)", r0, r1), ns}
+}
+
+// runColorFromUpsampled converts using the full-resolution chroma planes
+// produced by runUpsample (split mode tail).
+func (e *Engine) runColorFromUpsampled(r0, r1 int) CostRecord {
+	f := e.F
+	w, h := f.Img.Width, f.Img.Height
+	pw := f.Planes[0].PlaneW()
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindColor, "color(empty)", e.Dev.Spec.GPU.LaunchNs}
+	}
+	segsPerRow := (w + 3) / 4
+	items := rows * segsPerRow
+	groupItems := 128
+	groups := (items + groupItems - 1) / groupItems
+	ySam := e.samples[0].Data
+
+	phase := func(g *gpusim.Group, item int) {
+		gi := g.ID*groupItems + item
+		if gi >= items {
+			return
+		}
+		py := r0 + gi/segsPerRow
+		x0 := (gi % segsPerRow) * 4
+		if py >= h {
+			return
+		}
+		for x := x0; x < x0+4 && x < w; x++ {
+			r, gg, b := color.YCbCrToRGB(int32(ySam[py*pw+x]), int32(e.upsCb.Data[py*pw+x]), int32(e.upsCr.Data[py*pw+x]))
+			i := (py*w + x) * 3
+			e.rgb.Data[i], e.rgb.Data[i+1], e.rgb.Data[i+2] = r, gg, b
+		}
+	}
+	pixels := rows * w
+	k := &gpusim.Kernel{
+		Name:          "color_upsampled",
+		Groups:        groups,
+		ItemsPerGroup: groupItems,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(pixels)*opsColorPerPix + float64(groups*groupItems)*opsAddressPerItem,
+		GlobalBytes:   float64(pixels) * (3 + 3),
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindColor, fmt.Sprintf("color_ups[%d,%d)", r0, r1), ns}
+}
+
+// runGrayColor replicates the luma plane into RGB for grayscale frames.
+func (e *Engine) runGrayColor(r0, r1 int) CostRecord {
+	f := e.F
+	w, h := f.Img.Width, f.Img.Height
+	pw := f.Planes[0].PlaneW()
+	rows := r1 - r0
+	if rows <= 0 {
+		return CostRecord{sim.KindColor, "gray(empty)", e.Dev.Spec.GPU.LaunchNs}
+	}
+	segsPerRow := (w + 7) / 8
+	items := rows * segsPerRow
+	groupItems := 128
+	groups := (items + groupItems - 1) / groupItems
+	ySam := e.samples[0].Data
+
+	phase := func(g *gpusim.Group, item int) {
+		gi := g.ID*groupItems + item
+		if gi >= items {
+			return
+		}
+		py := r0 + gi/segsPerRow
+		x0 := (gi % segsPerRow) * 8
+		if py >= h {
+			return
+		}
+		for x := x0; x < x0+8 && x < w; x++ {
+			v := ySam[py*pw+x]
+			i := (py*w + x) * 3
+			e.rgb.Data[i], e.rgb.Data[i+1], e.rgb.Data[i+2] = v, v, v
+		}
+	}
+	pixels := rows * w
+	k := &gpusim.Kernel{
+		Name:          "gray_rgb",
+		Groups:        groups,
+		ItemsPerGroup: groupItems,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(pixels)*2 + float64(groups*groupItems)*opsAddressPerItem,
+		GlobalBytes:   float64(pixels) * 4,
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindColor, fmt.Sprintf("gray[%d,%d)", r0, r1), ns}
+}
+
+// TotalNs sums a cost-record list.
+func TotalNs(recs []CostRecord) float64 {
+	var s float64
+	for _, r := range recs {
+		s += r.Ns
+	}
+	return s
+}
+
+// KernelNs sums only kernel (non-transfer) records.
+func KernelNs(recs []CostRecord) float64 {
+	var s float64
+	for _, r := range recs {
+		if r.Kind != sim.KindHostToDevice && r.Kind != sim.KindDeviceToHost {
+			s += r.Ns
+		}
+	}
+	return s
+}

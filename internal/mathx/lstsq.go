@@ -1,0 +1,164 @@
+// Package mathx provides the numerical tools behind the performance
+// model: linear least squares via Householder QR, univariate and
+// bivariate polynomial regression with Horner-form evaluation, Akaike
+// information criterion model selection, and a guarded Newton root
+// solver for the run-time partitioning equations.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min ||A x - b||_2 for x using Householder QR with
+// column pivoting disabled (design matrices here are well conditioned
+// after column scaling). A is row-major: len(A) rows, each of width n.
+func LeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, errors.New("mathx: empty system")
+	}
+	n := len(a[0])
+	if m < n {
+		return nil, fmt.Errorf("mathx: underdetermined system (%d rows, %d cols)", m, n)
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("mathx: rhs size %d != %d rows", len(b), m)
+	}
+	// Column scaling improves conditioning for polynomial bases.
+	scale := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += a[i][j] * a[i][j]
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			s = 1
+		}
+		scale[j] = s
+	}
+	// Working copies.
+	r := make([][]float64, m)
+	for i := range r {
+		r[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			r[i][j] = a[i][j] / scale[j]
+		}
+	}
+	qtb := append([]float64(nil), b...)
+
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r[i][k] * r[i][k]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, errors.New("mathx: rank-deficient design matrix")
+		}
+		if r[k][k] > 0 {
+			norm = -norm
+		}
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r[i][k]
+		}
+		v[0] -= norm
+		var vv float64
+		for _, x := range v {
+			vv += x * x
+		}
+		if vv == 0 {
+			return nil, errors.New("mathx: degenerate Householder step")
+		}
+		// Apply to R.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r[i][j]
+			}
+			f := 2 * dot / vv
+			for i := k; i < m; i++ {
+				r[i][j] -= f * v[i-k]
+			}
+		}
+		// Apply to b.
+		var dot float64
+		for i := k; i < m; i++ {
+			dot += v[i-k] * qtb[i]
+		}
+		f := 2 * dot / vv
+		for i := k; i < m; i++ {
+			qtb[i] -= f * v[i-k]
+		}
+	}
+
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= r[i][j] * x[j]
+		}
+		if r[i][i] == 0 {
+			return nil, errors.New("mathx: singular R")
+		}
+		x[i] = s / r[i][i]
+	}
+	for j := range x {
+		x[j] /= scale[j]
+	}
+	return x, nil
+}
+
+// RSS computes the residual sum of squares of prediction pred vs observed.
+func RSS(pred, obs []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - obs[i]
+		s += d * d
+	}
+	return s
+}
+
+// AIC computes the Akaike information criterion for a least-squares fit
+// with n observations, k parameters and residual sum of squares rss
+// (Gaussian likelihood form), with the small-sample correction (AICc).
+// The correction matters here: training grids are modest, and without it
+// the degree selection overfits scatter, producing polynomials that
+// swing wildly just outside the training range (the hazard the paper
+// notes in Section 5.1).
+func AIC(n, k int, rss float64) float64 {
+	if rss <= 0 {
+		rss = 1e-300
+	}
+	aic := float64(n)*math.Log(rss/float64(n)) + 2*float64(k)
+	if n-k-1 > 0 {
+		aic += 2 * float64(k) * float64(k+1) / float64(n-k-1)
+	} else {
+		// Too few samples for the correction: disqualify this fit.
+		aic = math.Inf(1)
+	}
+	return aic
+}
+
+// RSquared returns the coefficient of determination of pred vs obs.
+func RSquared(pred, obs []float64) float64 {
+	var mean float64
+	for _, y := range obs {
+		mean += y
+	}
+	mean /= float64(len(obs))
+	var tot float64
+	for _, y := range obs {
+		d := y - mean
+		tot += d * d
+	}
+	if tot == 0 {
+		return 1
+	}
+	return 1 - RSS(pred, obs)/tot
+}

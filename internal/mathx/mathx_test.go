@@ -1,0 +1,262 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2 + 3x.
+	a := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	b := []float64{2, 5, 8, 11}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x=%v want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 40, 4
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := func(x []float64) float64 {
+		var s float64
+		for i := range a {
+			var p float64
+			for j := range x {
+				p += a[i][j] * x[j]
+			}
+			d := p - b[i]
+			s += d * d
+		}
+		return s
+	}
+	base := resid(x)
+	// Perturbing the solution must not reduce the residual.
+	for trial := 0; trial < 50; trial++ {
+		y := append([]float64(nil), x...)
+		y[rng.Intn(n)] += rng.NormFloat64() * 0.1
+		if resid(y) < base-1e-9 {
+			t.Fatalf("perturbation improved residual: %v < %v", resid(y), base)
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1}}, []float64{1}); err == nil {
+		t.Error("rhs size mismatch accepted")
+	}
+}
+
+func TestPoly1FitEvalDeriv(t *testing.T) {
+	// y = 1 - 2x + 0.5x^3
+	truth := Poly1{Coef: []float64{1, -2, 0, 0.5}}
+	var xs, ys []float64
+	for x := -3.0; x <= 3.0; x += 0.25 {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	p, err := FitPoly1(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range truth.Coef {
+		if math.Abs(p.Coef[i]-c) > 1e-8 {
+			t.Fatalf("coef %d: %v want %v", i, p.Coef[i], c)
+		}
+	}
+	// Derivative: -2 + 1.5x^2.
+	if d := p.Deriv(2); math.Abs(d-4) > 1e-8 {
+		t.Fatalf("deriv(2)=%v want 4", d)
+	}
+}
+
+func TestFitPoly1AICPrefersTrueDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := Poly1{Coef: []float64{3, 1.5}} // linear
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x)+rng.NormFloat64()*0.01)
+	}
+	p, err := FitPoly1AIC(xs, ys, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree() > 3 {
+		t.Fatalf("AIC chose degree %d for linear data", p.Degree())
+	}
+	if math.Abs(p.Eval(5)-truth.Eval(5)) > 0.05 {
+		t.Fatalf("prediction off: %v vs %v", p.Eval(5), truth.Eval(5))
+	}
+}
+
+func TestPoly2FitEval(t *testing.T) {
+	// z = 2 + w + 3h + 0.5wh
+	truthEval := func(w, h float64) float64 { return 2 + w + 3*h + 0.5*w*h }
+	var ws, hs, zs []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		w, h := rng.Float64()*10, rng.Float64()*10
+		ws = append(ws, w)
+		hs = append(hs, h)
+		zs = append(zs, truthEval(w, h))
+	}
+	p, err := FitPoly2(ws, hs, zs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w, h := rng.Float64()*10, rng.Float64()*10
+		if math.Abs(p.Eval(w, h)-truthEval(w, h)) > 1e-6 {
+			t.Fatalf("eval(%v,%v)=%v want %v", w, h, p.Eval(w, h), truthEval(w, h))
+		}
+	}
+}
+
+func TestPoly2DerivH(t *testing.T) {
+	// z = w^2 + 4h^2 + wh: dz/dh = 8h + w.
+	var ws, hs, zs []float64
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		w, h := rng.Float64()*5, rng.Float64()*5
+		ws = append(ws, w)
+		hs = append(hs, h)
+		zs = append(zs, w*w+4*h*h+w*h)
+	}
+	p, err := FitPoly2(ws, hs, zs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w, h := rng.Float64()*5, rng.Float64()*5
+		want := 8*h + w
+		if got := p.DerivH(w, h); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("derivH(%v,%v)=%v want %v", w, h, got, want)
+		}
+	}
+}
+
+func TestPoly2DerivHMatchesNumeric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + rng.Intn(4)
+		p := Poly2{Deg: deg, Coef: make([]float64, NumTerms2(deg))}
+		for i := range p.Coef {
+			p.Coef[i] = rng.NormFloat64()
+		}
+		w := rng.Float64() * 3
+		h := 1 + rng.Float64()*3
+		const eps = 1e-6
+		num := (p.Eval(w, h+eps) - p.Eval(w, h-eps)) / (2 * eps)
+		return math.Abs(num-p.DerivH(w, h)) < 1e-3*(1+math.Abs(num))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHornerEquivalence(t *testing.T) {
+	// Eval (nested Horner) must equal the naive power-sum form.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + rng.Intn(5)
+		p := Poly2{Deg: deg, Coef: make([]float64, NumTerms2(deg))}
+		for i := range p.Coef {
+			p.Coef[i] = rng.NormFloat64()
+		}
+		w := rng.Float64() * 4
+		h := rng.Float64() * 4
+		var naive float64
+		idx := 0
+		for j := 0; j <= deg; j++ {
+			for i := 0; i+j <= deg; i++ {
+				naive += p.Coef[idx] * math.Pow(w, float64(i)) * math.Pow(h, float64(j))
+				idx++
+			}
+		}
+		return math.Abs(naive-p.Eval(w, h)) < 1e-9*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewtonFindsRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 9 }
+	fp := func(x float64) float64 { return 2 * x }
+	root := Newton(f, fp, 1, 0, 10, 50, 1e-9)
+	if math.Abs(root-3) > 1e-6 {
+		t.Fatalf("root=%v want 3", root)
+	}
+}
+
+func TestNewtonBisectionFallback(t *testing.T) {
+	// Flat derivative near start; bisection must still converge.
+	f := func(x float64) float64 { return math.Tanh(x-5) + 0.5 }
+	fp := func(x float64) float64 { s := math.Cosh(x - 5); return 1 / (s * s) }
+	root := Newton(f, fp, 0.01, 0, 10, 80, 1e-9)
+	want := 5 + math.Atanh(-0.5)
+	if math.Abs(root-want) > 1e-4 {
+		t.Fatalf("root=%v want %v", root, want)
+	}
+}
+
+func TestNewtonSaturatesWithoutSignChange(t *testing.T) {
+	// f > 0 everywhere: the nearer-to-zero endpoint is returned.
+	f := func(x float64) float64 { return x + 10 }
+	fp := func(x float64) float64 { return 1 }
+	if got := Newton(f, fp, 5, 0, 10, 50, 1e-9); got != 0 {
+		t.Fatalf("got %v want 0 (lo endpoint closer to root)", got)
+	}
+	g := func(x float64) float64 { return -x - 10 }
+	if got := Newton(g, fp, 5, 0, 10, 50, 1e-9); got != 0 {
+		t.Fatalf("got %v want 0", got)
+	}
+}
+
+func TestAICPenalizesParameters(t *testing.T) {
+	// Equal RSS: more parameters must yield larger (worse) AIC.
+	if AIC(100, 2, 50) >= AIC(100, 8, 50) {
+		t.Fatal("AIC does not penalize parameter count")
+	}
+	// Lower RSS wins at equal parameter count.
+	if AIC(100, 3, 10) >= AIC(100, 3, 100) {
+		t.Fatal("AIC does not reward fit quality")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r := RSquared(obs, obs); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect fit R²=%v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(mean, obs); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean predictor R²=%v want 0", r)
+	}
+}

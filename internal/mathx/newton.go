@@ -1,0 +1,60 @@
+package mathx
+
+// Newton finds a root of f in [lo, hi] by Newton's method (Equation 11 of
+// the paper) guarded by bisection: steps leaving the bracket, or taken
+// with a vanishing derivative, fall back to bisecting the current
+// bracket. f must satisfy sign(f(lo)) != sign(f(hi)) for the guarantee to
+// hold; otherwise the nearer endpoint is returned.
+func Newton(f, fprime func(float64) float64, x0, lo, hi float64, maxIter int, tol float64) float64 {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo
+	}
+	if fhi == 0 {
+		return hi
+	}
+	if (flo > 0) == (fhi > 0) {
+		// No sign change: the balance point is outside the feasible
+		// range; saturate to whichever endpoint is closer to zero.
+		if abs(flo) < abs(fhi) {
+			return lo
+		}
+		return hi
+	}
+	x := x0
+	if x < lo || x > hi {
+		x = (lo + hi) / 2
+	}
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if abs(fx) <= tol {
+			return x
+		}
+		// Maintain the bracket.
+		if (fx > 0) == (flo > 0) {
+			lo, flo = x, fx
+		} else {
+			hi, fhi = x, fx
+		}
+		d := fprime(x)
+		var next float64
+		if d != 0 {
+			next = x - fx/d
+		}
+		if d == 0 || next <= lo || next >= hi {
+			next = (lo + hi) / 2 // bisection fallback
+		}
+		if abs(next-x) <= tol {
+			return next
+		}
+		x = next
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,197 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Poly1 is a univariate polynomial c0 + c1 x + ... evaluated in Horner
+// form (the paper rearranges all run-time polynomials this way, Section
+// 5.1).
+type Poly1 struct {
+	Coef []float64 `json:"coef"`
+}
+
+// Eval evaluates the polynomial at x.
+func (p Poly1) Eval(x float64) float64 {
+	var acc float64
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		acc = acc*x + p.Coef[i]
+	}
+	return acc
+}
+
+// Deriv evaluates the first derivative at x.
+func (p Poly1) Deriv(x float64) float64 {
+	var acc float64
+	for i := len(p.Coef) - 1; i >= 1; i-- {
+		acc = acc*x + float64(i)*p.Coef[i]
+	}
+	return acc
+}
+
+// Degree returns the polynomial degree.
+func (p Poly1) Degree() int { return len(p.Coef) - 1 }
+
+// FitPoly1 fits a degree-deg polynomial to (xs, ys) by least squares.
+func FitPoly1(xs, ys []float64, deg int) (Poly1, error) {
+	if len(xs) != len(ys) {
+		return Poly1{}, errors.New("mathx: mismatched sample slices")
+	}
+	if len(xs) < deg+1 {
+		return Poly1{}, fmt.Errorf("mathx: %d samples cannot fit degree %d", len(xs), deg)
+	}
+	a := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, deg+1)
+		v := 1.0
+		for j := 0; j <= deg; j++ {
+			row[j] = v
+			v *= x
+		}
+		a[i] = row
+	}
+	coef, err := LeastSquares(a, ys)
+	if err != nil {
+		return Poly1{}, err
+	}
+	return Poly1{Coef: coef}, nil
+}
+
+// FitPoly1AIC fits polynomials of degree 1..maxDeg and returns the one
+// minimizing AIC (the paper's model selection, degree up to 7).
+func FitPoly1AIC(xs, ys []float64, maxDeg int) (Poly1, error) {
+	var best Poly1
+	bestAIC := 0.0
+	found := false
+	for deg := 1; deg <= maxDeg; deg++ {
+		p, err := FitPoly1(xs, ys, deg)
+		if err != nil {
+			continue
+		}
+		pred := make([]float64, len(xs))
+		for i, x := range xs {
+			pred[i] = p.Eval(x)
+		}
+		aic := AIC(len(xs), deg+1, RSS(pred, ys))
+		if !found || aic < bestAIC {
+			best, bestAIC, found = p, aic, true
+		}
+	}
+	if !found {
+		return Poly1{}, errors.New("mathx: no degree could be fitted")
+	}
+	return best, nil
+}
+
+// Poly2 is a bivariate polynomial over (w, h) with terms w^i h^j for
+// i+j <= Degree, stored in graded order. Evaluation nests Horner in h
+// with inner Horner polynomials in w.
+type Poly2 struct {
+	Deg  int       `json:"deg"`
+	Coef []float64 `json:"coef"` // indexed by TermIndex
+}
+
+// NumTerms2 returns the number of terms of a bivariate polynomial of
+// total degree deg.
+func NumTerms2(deg int) int { return (deg + 1) * (deg + 2) / 2 }
+
+// termIndex maps exponents (i, j), i+j <= deg, to a linear index grouped
+// by j (power of h) then i.
+func termIndex(deg, i, j int) int {
+	// Terms with h-power < j: sum_{t<j} (deg - t + 1)
+	idx := 0
+	for t := 0; t < j; t++ {
+		idx += deg - t + 1
+	}
+	return idx + i
+}
+
+// Eval evaluates the polynomial at (w, h) via nested Horner.
+func (p Poly2) Eval(w, h float64) float64 {
+	var acc float64
+	for j := p.Deg; j >= 0; j-- {
+		// Inner polynomial in w of degree p.Deg-j.
+		var inner float64
+		for i := p.Deg - j; i >= 0; i-- {
+			inner = inner*w + p.Coef[termIndex(p.Deg, i, j)]
+		}
+		acc = acc*h + inner
+	}
+	return acc
+}
+
+// DerivH evaluates the partial derivative with respect to h at (w, h) —
+// the f'(x) Newton's method needs (Section 5.2, Equation 11).
+func (p Poly2) DerivH(w, h float64) float64 {
+	var acc float64
+	for j := p.Deg; j >= 1; j-- {
+		var inner float64
+		for i := p.Deg - j; i >= 0; i-- {
+			inner = inner*w + p.Coef[termIndex(p.Deg, i, j)]
+		}
+		acc = acc*h + float64(j)*inner
+	}
+	return acc
+}
+
+// FitPoly2 fits a total-degree-deg bivariate polynomial to samples
+// (ws[i], hs[i]) -> ys[i].
+func FitPoly2(ws, hs, ys []float64, deg int) (Poly2, error) {
+	if len(ws) != len(hs) || len(ws) != len(ys) {
+		return Poly2{}, errors.New("mathx: mismatched sample slices")
+	}
+	n := NumTerms2(deg)
+	if len(ws) < n {
+		return Poly2{}, fmt.Errorf("mathx: %d samples cannot fit %d terms", len(ws), n)
+	}
+	a := make([][]float64, len(ws))
+	for s := range ws {
+		row := make([]float64, n)
+		for j := 0; j <= deg; j++ {
+			hv := powf(hs[s], j)
+			for i := 0; i+j <= deg; i++ {
+				row[termIndex(deg, i, j)] = powf(ws[s], i) * hv
+			}
+		}
+		a[s] = row
+	}
+	coef, err := LeastSquares(a, ys)
+	if err != nil {
+		return Poly2{}, err
+	}
+	return Poly2{Deg: deg, Coef: coef}, nil
+}
+
+// FitPoly2AIC fits total degrees 1..maxDeg and returns the AIC-best.
+func FitPoly2AIC(ws, hs, ys []float64, maxDeg int) (Poly2, error) {
+	var best Poly2
+	bestAIC := 0.0
+	found := false
+	for deg := 1; deg <= maxDeg; deg++ {
+		p, err := FitPoly2(ws, hs, ys, deg)
+		if err != nil {
+			continue
+		}
+		pred := make([]float64, len(ws))
+		for i := range ws {
+			pred[i] = p.Eval(ws[i], hs[i])
+		}
+		aic := AIC(len(ws), NumTerms2(deg), RSS(pred, ys))
+		if !found || aic < bestAIC {
+			best, bestAIC, found = p, aic, true
+		}
+	}
+	if !found {
+		return Poly2{}, errors.New("mathx: no bivariate degree could be fitted")
+	}
+	return best, nil
+}
+
+func powf(x float64, n int) float64 {
+	v := 1.0
+	for ; n > 0; n-- {
+		v *= x
+	}
+	return v
+}

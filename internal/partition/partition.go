@@ -1,0 +1,168 @@
+// Package partition implements the paper's dynamic partitioning schemes
+// (Section 5.2): the image is split horizontally so that the bottom x
+// pixel rows go to the CPU (SIMD) and the top h-x rows to the GPU, with x
+// chosen so both finish together. The balance functions of Equations
+// (10), (13), (15) and (16) are solved at run time with Newton's method
+// over the fitted performance polynomials; the result is rounded to whole
+// MCU rows (libjpeg-turbo decodes in MCU units).
+package partition
+
+import (
+	"hetjpeg/internal/mathx"
+	"hetjpeg/internal/perfmodel"
+)
+
+// Inputs collects everything the balance equations need.
+type Inputs struct {
+	W, H      int     // image dimensions in pixels
+	D         float64 // entropy density, bytes/pixel (Equation 3)
+	MCURowPix int     // pixel rows per MCU row (8 or 16)
+	Model     *perfmodel.SubModel
+	ChunkRows int // pipelining chunk size in MCU rows (PPS)
+}
+
+func (in Inputs) wf() float64 { return float64(in.W) }
+
+// evalGuard evaluates a fitted bivariate phase polynomial at (w, rows)
+// while enforcing the physical boundary condition the regression cannot
+// represent: zero rows of work take zero time. Below a small floor the
+// polynomial is replaced by a linear ramp from zero to its value at the
+// floor; this keeps the Newton balance functions well-behaved when one
+// side's share approaches zero (evaluating the raw polynomial at
+// near-zero heights is an extrapolation far outside the training
+// manifold — the hazard Section 5.1 warns about).
+type phasePoly interface {
+	Eval(w, h float64) float64
+	DerivH(w, h float64) float64
+}
+
+func (in Inputs) evalGuard(p phasePoly, rows float64) float64 {
+	floor := 2 * float64(in.MCURowPix)
+	if rows <= 0 {
+		return 0
+	}
+	if rows < floor {
+		v := p.Eval(in.wf(), floor)
+		if v < 0 {
+			v = 0
+		}
+		return v * rows / floor
+	}
+	v := p.Eval(in.wf(), rows)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func (in Inputs) derivGuard(p phasePoly, rows float64) float64 {
+	floor := 2 * float64(in.MCURowPix)
+	if rows <= 0 {
+		return 0
+	}
+	if rows < floor {
+		v := p.Eval(in.wf(), floor)
+		if v < 0 {
+			v = 0
+		}
+		return v / floor
+	}
+	return p.DerivH(in.wf(), rows)
+}
+
+// roundToMCU rounds x (CPU pixel rows) to a whole number of MCU rows,
+// clamped to [0, H].
+func (in Inputs) roundToMCU(x float64) int {
+	m := float64(in.MCURowPix)
+	r := int(x/m + 0.5)
+	if r < 0 {
+		r = 0
+	}
+	maxRows := in.H / in.MCURowPix // partial bottom MCU row stays with the CPU side implicitly
+	if in.H%in.MCURowPix != 0 {
+		maxRows++
+	}
+	if r > maxRows {
+		r = maxRows
+	}
+	return r
+}
+
+// SolveSPS returns the number of CPU MCU rows balancing Equation (10):
+//
+//	f(x) = Tdisp(w, h-x) + PCPU(w, x) - PGPU(w, h-x)
+func SolveSPS(in Inputs) int {
+	h := float64(in.H)
+	m := in.Model
+	f := func(x float64) float64 {
+		return in.evalGuard(m.TDisp, h-x) + in.evalGuard(m.PCPU, x) - in.evalGuard(m.PGPU, h-x)
+	}
+	fp := func(x float64) float64 {
+		return -in.derivGuard(m.TDisp, h-x) + in.derivGuard(m.PCPU, x) + in.derivGuard(m.PGPU, h-x)
+	}
+	x := mathx.Newton(f, fp, h/2, 0, h, 40, 1)
+	return in.roundToMCU(x)
+}
+
+// SolvePPS returns the number of CPU MCU rows balancing Equation (15),
+// which accounts for pipelined GPU chunks: the GPU starts after the first
+// chunk's Huffman data arrives, so the CPU side carries the Huffman time
+// of everything after that first chunk.
+//
+//	f(x) = THuff(w, h-c, d) + PCPU(w, x) + Tdisp(w, h-x) - PGPU(w, h-x)
+func SolvePPS(in Inputs) int {
+	w, h := in.wf(), float64(in.H)
+	m := in.Model
+	c := float64(in.ChunkRows * in.MCURowPix)
+	if c > h {
+		c = h
+	}
+	huffRest := m.THuff(w, h-c, in.D)
+	f := func(x float64) float64 {
+		return huffRest + in.evalGuard(m.PCPU, x) + in.evalGuard(m.TDisp, h-x) - in.evalGuard(m.PGPU, h-x)
+	}
+	fp := func(x float64) float64 {
+		return in.derivGuard(m.PCPU, x) - in.derivGuard(m.TDisp, h-x) + in.derivGuard(m.PGPU, h-x)
+	}
+	x := mathx.Newton(f, fp, h/4, 0, h, 40, 1)
+	return in.roundToMCU(x)
+}
+
+// Repartition implements Equation (16): before the last GPU chunk is
+// dispatched, the split is recomputed over the remaining unprocessed
+// region of hPrime pixel rows using the corrected density dPrime
+// (Equation 17) and the estimated remaining time of in-flight GPU work.
+// It returns the new number of CPU MCU rows taken from the bottom of the
+// remaining region.
+func Repartition(in Inputs, hPrime int, dPrime float64, prevGPUNs float64) int {
+	w := in.wf()
+	hp := float64(hPrime)
+	m := in.Model
+	f := func(x float64) float64 {
+		return in.evalGuard(m.TDisp, hp-x) + m.THuff(w, hp, dPrime) + in.evalGuard(m.PCPU, x) -
+			in.evalGuard(m.PGPU, hp-x) - prevGPUNs
+	}
+	fp := func(x float64) float64 {
+		return -in.derivGuard(m.TDisp, hp-x) + in.derivGuard(m.PCPU, x) + in.derivGuard(m.PGPU, hp-x)
+	}
+	x := mathx.Newton(f, fp, hp/2, 0, hp, 40, 1)
+	r := int(x/float64(in.MCURowPix) + 0.5)
+	if r < 0 {
+		r = 0
+	}
+	if max := (hPrime + in.MCURowPix - 1) / in.MCURowPix; r > max {
+		r = max
+	}
+	return r
+}
+
+// CorrectedDensity implements Equation (17): when the measured Huffman
+// time of the processed prefix lags or leads the model's estimate, the
+// density of the remaining region is scaled by the ratio of remaining
+// time share to remaining height share.
+func CorrectedDensity(d float64, remainingHuffRatio, remainingHeightRatio float64) float64 {
+	if remainingHeightRatio <= 0 {
+		return d
+	}
+	return d * remainingHuffRatio / remainingHeightRatio
+}

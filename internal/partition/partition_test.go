@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"testing"
+
+	"hetjpeg/internal/mathx"
+	"hetjpeg/internal/perfmodel"
+)
+
+// syntheticModel builds a SubModel with known linear behavior:
+//
+//	PCPU(w, x)  = cpuRate * w * x
+//	PGPU(w, g)  = gpuRate * w * g + gpuFixed
+//	TDisp(w, g) = dispFixed
+//	THuff/px(d) = huffRate * d
+func syntheticModel(cpuRate, gpuRate, gpuFixed, dispFixed, huffRate float64) *perfmodel.SubModel {
+	// Poly2 degree 2, graded by h-power: [1, w, w^2, h, wh, h^2].
+	pcpu := mathx.Poly2{Deg: 2, Coef: []float64{0, 0, 0, 0, cpuRate, 0}}
+	pgpu := mathx.Poly2{Deg: 2, Coef: []float64{gpuFixed, 0, 0, 0, gpuRate, 0}}
+	disp := mathx.Poly2{Deg: 2, Coef: []float64{dispFixed, 0, 0, 0, 0, 0}}
+	return &perfmodel.SubModel{
+		HuffPerPixel: mathx.Poly1{Coef: []float64{0, huffRate}},
+		PCPU:         pcpu,
+		PCPUScalar:   pcpu,
+		PGPU:         pgpu,
+		TDisp:        disp,
+	}
+}
+
+func TestSolveSPSBalancesEqualRates(t *testing.T) {
+	// Equal per-row rates, no fixed costs: the balanced split is 50/50.
+	m := syntheticModel(1.0, 1.0, 0, 0, 1.0)
+	in := Inputs{W: 1000, H: 800, D: 0.2, MCURowPix: 8, Model: m}
+	x := SolveSPS(in)
+	if got := x * in.MCURowPix; got < 360 || got > 440 {
+		t.Fatalf("CPU rows %d px, want ~400", got)
+	}
+}
+
+func TestSolveSPSFasterGPUGetsMore(t *testing.T) {
+	// GPU 3x the CPU rate: x/(h-x) balances when x = h/4.
+	m := syntheticModel(1.0, 1.0/3.0, 0, 0, 1.0)
+	in := Inputs{W: 1000, H: 800, D: 0.2, MCURowPix: 8, Model: m}
+	x := SolveSPS(in)
+	px := x * in.MCURowPix
+	if px < 160 || px > 240 {
+		t.Fatalf("CPU share %d px, want ~200 (quarter)", px)
+	}
+}
+
+func TestSolveSPSSlowGPUFavorsCPU(t *testing.T) {
+	// GPU slower than CPU (GT 430 situation): CPU keeps the majority.
+	m := syntheticModel(1.0, 2.0, 50000, 3000, 1.0)
+	in := Inputs{W: 1000, H: 800, D: 0.2, MCURowPix: 8, Model: m}
+	x := SolveSPS(in)
+	px := x * in.MCURowPix
+	if px <= 400 {
+		t.Fatalf("CPU share %d px should exceed half with a slow GPU", px)
+	}
+	if px >= 800 {
+		t.Fatal("CPU share should not be everything: the GPU still helps")
+	}
+}
+
+func TestSolvePPSShiftsWorkToGPU(t *testing.T) {
+	// PPS hides Huffman behind GPU work, so the CPU share shrinks vs SPS.
+	m := syntheticModel(1.0, 0.5, 0, 0, 2.0)
+	in := Inputs{W: 1000, H: 800, D: 0.2, MCURowPix: 8, Model: m, ChunkRows: 4}
+	sps := SolveSPS(in)
+	pps := SolvePPS(in)
+	if pps >= sps {
+		t.Fatalf("PPS CPU share (%d rows) should be below SPS share (%d rows)", pps, sps)
+	}
+}
+
+func TestSolveBoundsClamped(t *testing.T) {
+	// Extremely fast GPU: everything goes to the device (x=0). Extremely
+	// slow: everything stays on the CPU (x=H/MCURowPix).
+	fast := syntheticModel(1.0, 1e-6, 0, 0, 1.0)
+	in := Inputs{W: 500, H: 400, D: 0.1, MCURowPix: 8, Model: fast}
+	if x := SolveSPS(in); x != 0 {
+		t.Fatalf("fast GPU: CPU rows %d want 0", x)
+	}
+	slow := syntheticModel(1e-6, 10.0, 1e9, 0, 1.0)
+	in.Model = slow
+	if x := SolveSPS(in); x != 50 {
+		t.Fatalf("slow GPU: CPU rows %d want all (50)", x)
+	}
+}
+
+func TestRoundToMCU(t *testing.T) {
+	in := Inputs{H: 100, MCURowPix: 16}
+	if r := in.roundToMCU(24); r != 2 { // 24/16 = 1.5 -> 2
+		t.Fatalf("round 24px -> %d rows, want 2", r)
+	}
+	if r := in.roundToMCU(-5); r != 0 {
+		t.Fatalf("negative clamps to 0, got %d", r)
+	}
+	if r := in.roundToMCU(1e9); r != 7 { // ceil(100/16) = 7
+		t.Fatalf("overflow clamps to 7, got %d", r)
+	}
+}
+
+func TestRepartitionRespondsToPressure(t *testing.T) {
+	m := syntheticModel(1.0, 0.5, 0, 0, 2.0)
+	in := Inputs{W: 1000, H: 800, D: 0.2, MCURowPix: 8, Model: m, ChunkRows: 4}
+	base := Repartition(in, 400, 0.2, 0)
+	// In-flight GPU work (prevGPUNs > 0) delays the device, so more rows
+	// move to the CPU.
+	loaded := Repartition(in, 400, 0.2, 2e5)
+	if loaded < base {
+		t.Fatalf("GPU backlog should increase CPU share: %d < %d", loaded, base)
+	}
+	// A denser remainder (d' > d) means more Huffman time on the CPU
+	// path; under Equation (16) the CPU keeps less of the parallel work.
+	denser := Repartition(in, 400, 0.4, 0)
+	if denser > base {
+		t.Fatalf("denser remainder should not grow the CPU share: %d > %d", denser, base)
+	}
+}
+
+func TestCorrectedDensity(t *testing.T) {
+	// Remaining time share 0.6 vs height share 0.5: remainder denser.
+	if d := CorrectedDensity(0.2, 0.6, 0.5); d <= 0.2 {
+		t.Fatalf("density %v should increase", d)
+	}
+	if d := CorrectedDensity(0.2, 0.3, 0.5); d >= 0.2 {
+		t.Fatalf("density %v should decrease", d)
+	}
+	if d := CorrectedDensity(0.2, 0.5, 0); d != 0.2 {
+		t.Fatalf("degenerate ratio must return input, got %v", d)
+	}
+}

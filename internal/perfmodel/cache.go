@@ -1,0 +1,67 @@
+package perfmodel
+
+import (
+	"sync"
+
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/platform"
+)
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Model{}
+)
+
+// Default returns the full training-corpus model for spec, training it on
+// first use and caching it per platform for the remainder of the process
+// (profiling is a once-per-machine offline step in the paper).
+func Default(spec *platform.Spec) (*Model, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if m, ok := cache["full/"+spec.Name]; ok {
+		return m, nil
+	}
+	m, err := Train(spec)
+	if err != nil {
+		return nil, err
+	}
+	cache["full/"+spec.Name] = m
+	return m, nil
+}
+
+// TrainQuick fits a reduced-corpus model, for tests that need a model but
+// not its full accuracy. Cached like Default.
+func TrainQuick(spec *platform.Spec) (*Model, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if m, ok := cache["quick/"+spec.Name]; ok {
+		return m, nil
+	}
+	var profiles []*ItemProfile
+	for _, sub := range []jfif.Subsampling{jfif.Sub422, jfif.Sub444, jfif.Sub420} {
+		opts := imagegen.CorpusOptions{
+			Widths:   []int{64, 192, 448, 704},
+			Heights:  []int{64, 192, 448, 704},
+			Details:  []float64{0.1, 0.6, 1.0},
+			Sub:      sub,
+			Quality:  85,
+			SeedBase: 1000,
+		}
+		items, err := imagegen.Build(opts)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := Summarize(items)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, ps...)
+	}
+	m, err := Fit(spec, profiles)
+	if err != nil {
+		return nil, err
+	}
+	cache["quick/"+spec.Name] = m
+	return m, nil
+}

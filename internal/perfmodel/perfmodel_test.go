@@ -1,0 +1,225 @@
+package perfmodel
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/kernels"
+	"hetjpeg/internal/platform"
+)
+
+func quickProfiles(t testing.TB, sub jfif.Subsampling) []*ItemProfile {
+	t.Helper()
+	items, err := imagegen.Build(imagegen.CorpusOptions{
+		Widths:   []int{96, 256, 512},
+		Heights:  []int{96, 256, 512},
+		Details:  []float64{0.1, 0.6, 1.0},
+		Sub:      sub,
+		Quality:  85,
+		SeedBase: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Summarize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestSummarizeItem(t *testing.T) {
+	ps := quickProfiles(t, jfif.Sub422)
+	for _, p := range ps {
+		if p.Density <= 0 {
+			t.Fatalf("density %v", p.Density)
+		}
+		if len(p.BitsPerRow) != p.MCURows {
+			t.Fatalf("bits rows %d != MCU rows %d", len(p.BitsPerRow), p.MCURows)
+		}
+		var total int64
+		for _, b := range p.BitsPerRow {
+			if b <= 0 {
+				t.Fatal("non-positive row bits")
+			}
+			total += b
+		}
+		// The entropy segment dominates the file: decoded bits should be
+		// a large fraction of the density estimate.
+		estBits := p.Density * float64(p.W*p.H) * 8
+		if float64(total) < 0.5*estBits || float64(total) > 1.05*estBits {
+			t.Fatalf("decoded bits %d vs file-size estimate %.0f", total, estBits)
+		}
+	}
+}
+
+func TestFitPredictsHeldOutImages(t *testing.T) {
+	spec := platform.GTX560()
+	train := quickProfiles(t, jfif.Sub422)
+	m, err := Fit(spec, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.ForSub(jfif.Sub422)
+	if sm == nil {
+		t.Fatal("no 4:2:2 sub-model")
+	}
+	// Held-out sizes (not on the training grid).
+	held, err := imagegen.Build(imagegen.CorpusOptions{
+		Widths:   []int{384},
+		Heights:  []int{320},
+		Details:  []float64{0.4, 0.8},
+		Sub:      jfif.Sub422,
+		Quality:  85,
+		SeedBase: 9999,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range held {
+		p, err := SummarizeItem(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		me := MeasureParallel(spec, p)
+		predCPU := sm.PCPU.Eval(float64(p.W), float64(p.H))
+		predGPU := sm.PGPU.Eval(float64(p.W), float64(p.H))
+		predHuff := sm.THuff(float64(p.W), float64(p.H), p.Density)
+		if relErr(predCPU, me.PCPU) > 0.10 {
+			t.Errorf("%s: PCPU predicted %.0f measured %.0f", it.Name, predCPU, me.PCPU)
+		}
+		if relErr(predGPU, me.PGPU) > 0.10 {
+			t.Errorf("%s: PGPU predicted %.0f measured %.0f", it.Name, predGPU, me.PGPU)
+		}
+		if relErr(predHuff, me.THuff) > 0.25 {
+			t.Errorf("%s: THuff predicted %.0f measured %.0f", it.Name, predHuff, me.THuff)
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	spec := platform.GT430()
+	train := quickProfiles(t, jfif.Sub444)
+	m, err := Fit(spec, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ChunkRows = 17
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Platform != m.Platform || m2.ChunkRows != 17 {
+		t.Fatalf("round trip lost metadata: %+v", m2)
+	}
+	sm, sm2 := m.ForSub(jfif.Sub444), m2.ForSub(jfif.Sub444)
+	if sm2 == nil {
+		t.Fatal("sub-model lost")
+	}
+	w, h := 333.0, 257.0
+	if relErr(sm2.PCPU.Eval(w, h), sm.PCPU.Eval(w, h)) > 1e-12 {
+		t.Fatal("PCPU changed across save/load")
+	}
+	if relErr(sm2.HuffPerPixel.Eval(0.2), sm.HuffPerPixel.Eval(0.2)) > 1e-12 {
+		t.Fatal("Huffman fit changed across save/load")
+	}
+}
+
+func TestSelectChunkRowsPrefersModerateChunks(t *testing.T) {
+	spec := platform.GTX560()
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.6, [][2]int{{1024, 1024}, {1536, 1024}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Summarize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := SelectChunkRows(spec, ps, nil)
+	if rows < 2 || rows > 128 {
+		t.Fatalf("selected chunk size %d outside sane range", rows)
+	}
+	// One-row chunks must not win: launch overhead dominates.
+	one := simulatePipelined(spec, ps[0], 1)
+	best := simulatePipelined(spec, ps[0], rows)
+	if one < best {
+		t.Fatalf("1-row chunks (%.0f) beat selected %d rows (%.0f)", one, rows, best)
+	}
+}
+
+func TestHuffmanFitIsMonotoneInDensity(t *testing.T) {
+	spec := platform.GTX680()
+	train := quickProfiles(t, jfif.Sub444)
+	m, err := Fit(spec, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.ForSub(jfif.Sub444)
+	// Monotonicity is only guaranteed within the fitted density range
+	// (polynomials extrapolate poorly — the Section 5.1 caveat).
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range train {
+		lo = math.Min(lo, p.Density)
+		hi = math.Max(hi, p.Density)
+	}
+	// The scatter in the density estimate (file headers inflate d for
+	// small images, exactly as in the paper's Figure 7) permits local
+	// wiggles; require positivity across the range and a clearly
+	// increasing overall trend.
+	for i := 0; i <= 20; i++ {
+		d := lo + (hi-lo)*float64(i)/20
+		if v := sm.HuffPerPixel.Eval(d); v <= 0 {
+			t.Fatalf("Huffman rate non-positive at density %.3f: %v", d, v)
+		}
+	}
+	vLo, vHi := sm.HuffPerPixel.Eval(lo), sm.HuffPerPixel.Eval(hi)
+	if vHi < 1.5*vLo {
+		t.Fatalf("Huffman rate trend too flat: %.3f at d=%.3f vs %.3f at d=%.3f", vLo, lo, vHi, hi)
+	}
+}
+
+func TestSelectWorkGroupBlocks(t *testing.T) {
+	spec := platform.GTX560()
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.5, [][2]int{{512, 512}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Summarize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := SelectWorkGroupBlocks(spec, ps, nil)
+	if gb < 4 || gb > 64 {
+		t.Fatalf("selected work-group size %d outside sweep range", gb)
+	}
+	// The sweep must be a real optimization: the chosen size's cost is
+	// minimal among candidates.
+	costFor := func(n int) float64 {
+		trial := *spec
+		trial.WorkGroupBlocks = n
+		var total float64
+		for _, r := range kernels.CostPlan(&trial, ps[0].Frame, 0, ps[0].MCURows, -1, -1, true) {
+			total += r.Ns
+		}
+		return total
+	}
+	for _, c := range []int{4, 8, 16, 32, 64} {
+		if costFor(c) < costFor(gb)-1e-9 {
+			t.Fatalf("candidate %d beats selected %d", c, gb)
+		}
+	}
+}

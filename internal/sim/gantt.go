@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the timeline as a fixed-width ASCII chart, one lane per
+// resource, for inspecting schedules (cmd/jpegdec -gantt). Each cell
+// covers makespan/width nanoseconds; the densest-kind initial fills it.
+func (tl *Timeline) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := tl.Makespan()
+	if span <= 0 || len(tl.tasks) == 0 {
+		return "(empty timeline)\n"
+	}
+
+	resources := make([]string, 0, len(tl.resources))
+	for r := range tl.resources {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+
+	glyph := map[Kind]byte{
+		KindHuffman:      'H',
+		KindDispatch:     'd',
+		KindHostToDevice: '>',
+		KindIDCT:         'I',
+		KindUpsample:     'U',
+		KindColor:        'C',
+		KindMergedKernel: 'M',
+		KindDeviceToHost: '<',
+		KindCPUParallel:  'P',
+		KindOther:        '?',
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual makespan %.3f ms; one column = %.1f us\n",
+		span/1e6, span/float64(width)/1e3)
+	for _, res := range resources {
+		// Per-cell dominant kind by covered time.
+		cells := make([]float64, width)
+		kinds := make([]map[Kind]float64, width)
+		for i := range kinds {
+			kinds[i] = map[Kind]float64{}
+		}
+		for _, t := range tl.tasks {
+			if t.Resource != res || t.Cost == 0 {
+				continue
+			}
+			c0 := int(t.Start / span * float64(width))
+			c1 := int(t.End / span * float64(width))
+			if c1 >= width {
+				c1 = width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				lo := float64(c) / float64(width) * span
+				hi := float64(c+1) / float64(width) * span
+				covered := minf(t.End, hi) - maxf(t.Start, lo)
+				if covered > 0 {
+					cells[c] += covered
+					kinds[c][t.Kind] += covered
+				}
+			}
+		}
+		row := make([]byte, width)
+		for c := range row {
+			if cells[c] <= 0 {
+				row[c] = '.'
+				continue
+			}
+			bestKind, bestCov := KindOther, 0.0
+			for k, cov := range kinds[c] {
+				if cov > bestCov {
+					bestKind, bestCov = k, cov
+				}
+			}
+			g, ok := glyph[bestKind]
+			if !ok {
+				g = '?'
+			}
+			row[c] = g
+		}
+		fmt.Fprintf(&b, "%-10s |%s|\n", res, row)
+	}
+	b.WriteString("legend: H huffman, d dispatch, > h2d, I idct, U upsample, C color, M merged, < d2h, . idle\n")
+	return b.String()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialResource(t *testing.T) {
+	tl := New()
+	a := tl.Add(ResCPU, KindHuffman, "a", 10)
+	b := tl.Add(ResCPU, KindHuffman, "b", 5)
+	if a.Start != 0 || a.End != 10 {
+		t.Fatalf("a scheduled [%v,%v)", a.Start, a.End)
+	}
+	if b.Start != 10 || b.End != 15 {
+		t.Fatalf("b scheduled [%v,%v), want [10,15)", b.Start, b.End)
+	}
+	if tl.Makespan() != 15 {
+		t.Fatalf("makespan %v want 15", tl.Makespan())
+	}
+}
+
+func TestCrossResourceDependency(t *testing.T) {
+	tl := New()
+	huff := tl.Add(ResCPU, KindHuffman, "huff", 100)
+	disp := tl.Add(ResCPU, KindDispatch, "disp", 10)
+	h2d := tl.Add(ResGPU, KindHostToDevice, "h2d", 20, disp)
+	k := tl.Add(ResGPU, KindIDCT, "k", 50, h2d)
+	if h2d.Start != disp.End {
+		t.Fatalf("h2d starts %v want %v", h2d.Start, disp.End)
+	}
+	if k.Start != h2d.End {
+		t.Fatalf("k starts %v want %v", k.Start, h2d.End)
+	}
+	// CPU can continue while GPU works.
+	more := tl.Add(ResCPU, KindHuffman, "more", 30)
+	if more.Start != disp.End {
+		t.Fatalf("cpu continuation starts %v want %v", more.Start, disp.End)
+	}
+	_ = huff
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapModel(t *testing.T) {
+	// Pipelined pattern: gpu chunks hide behind cpu chunks when gpu is
+	// faster.
+	tl := New()
+	var prevDisp *Task
+	for i := 0; i < 4; i++ {
+		tl.Add(ResCPU, KindHuffman, "h", 100)
+		prevDisp = tl.Add(ResCPU, KindDispatch, "d", 5)
+		tl.Add(ResGPU, KindMergedKernel, "k", 40, prevDisp)
+	}
+	// Last GPU task ends shortly after last dispatch; total dominated by
+	// CPU: 4*(100+5) + 40 = 460.
+	if got := tl.Makespan(); got != 460 {
+		t.Fatalf("makespan %v want 460", got)
+	}
+}
+
+func TestBreakdownAndBusy(t *testing.T) {
+	tl := New()
+	tl.Add(ResCPU, KindHuffman, "h", 7)
+	tl.Add(ResCPU, KindHuffman, "h", 3)
+	tl.Add(ResGPU, KindIDCT, "k", 11)
+	bd := tl.TotalByKind()
+	if bd[KindHuffman] != 10 || bd[KindIDCT] != 11 {
+		t.Fatalf("breakdown %v", bd)
+	}
+	if tl.BusyTime(ResCPU) != 10 || tl.BusyTime(ResGPU) != 11 {
+		t.Fatalf("busy cpu=%v gpu=%v", tl.BusyTime(ResCPU), tl.BusyTime(ResGPU))
+	}
+	if tl.KindTotal(KindHuffman) != 10 {
+		t.Fatalf("KindTotal=%v", tl.KindTotal(KindHuffman))
+	}
+	sb := tl.SortedBreakdown()
+	if len(sb) != 2 || sb[0].Kind != KindHuffman {
+		t.Fatalf("sorted breakdown %v", sb)
+	}
+}
+
+func TestNegativeCostClamped(t *testing.T) {
+	tl := New()
+	task := tl.Add(ResCPU, KindOther, "neg", -5)
+	if task.Cost != 0 || task.End != task.Start {
+		t.Fatalf("negative cost not clamped: %+v", task)
+	}
+}
+
+func TestValidateQuick(t *testing.T) {
+	// Random DAGs scheduled by the timeline always validate.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := New()
+		var tasks []*Task
+		for i := 0; i < 50; i++ {
+			res := ResCPU
+			if rng.Intn(2) == 1 {
+				res = ResGPU
+			}
+			var deps []*Task
+			for d := 0; d < rng.Intn(3) && len(tasks) > 0; d++ {
+				deps = append(deps, tasks[rng.Intn(len(tasks))])
+			}
+			tasks = append(tasks, tl.Add(res, Kind(rng.Intn(9)), "t", float64(rng.Intn(100)), deps...))
+		}
+		return tl.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindHuffman.String() != "Huffman" {
+		t.Fatalf("got %q", KindHuffman.String())
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("got %q", Kind(99).String())
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tl := New()
+	tl.Add(ResCPU, KindHuffman, "h", 100)
+	d := tl.Add(ResCPU, KindDispatch, "d", 10)
+	tl.Add(ResGPU, KindMergedKernel, "k", 60, d)
+	out := tl.Gantt(40)
+	for _, want := range []string{"cpu", "gpu.queue", "H", "M", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty timeline renders gracefully.
+	if out := New().Gantt(40); !strings.Contains(out, "empty") {
+		t.Errorf("empty timeline: %q", out)
+	}
+}
