@@ -9,6 +9,7 @@ package hetjpeg_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -472,6 +473,62 @@ func BenchmarkExtension_BatchPipelining(b *testing.B) {
 		gain = res.Gain()
 	}
 	b.ReportMetric(gain, "batchGain")
+}
+
+// Wall-clock batch throughput: the concurrent executor vs a serial
+// one-worker loop over the same stream. Pixels are bit-identical and
+// the virtual makespan is identical across worker counts (asserted by
+// TestBatchDeterministicAcrossWorkers); what changes is host
+// throughput, which should scale near-linearly until the core count.
+func benchBatchWallClock(b *testing.B, workers int) {
+	var stream [][]byte
+	for i := 0; i < 16; i++ {
+		items, err := imagegen.SizeSweep(jfif.Sub422, 0.5, [][2]int{{800, 600}}, int64(4200+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream = append(stream, items[0].Data)
+	}
+	spec := platform.GTX560()
+	opts := hetjpeg.BatchOptions{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hetjpeg.DecodeBatch(stream, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("%d images failed", res.Failed)
+		}
+		for _, ir := range res.Images {
+			ir.Res.Release()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(stream)*b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+func BenchmarkBatchWallClock_Workers1(b *testing.B) { benchBatchWallClock(b, 1) }
+func BenchmarkBatchWallClock_WorkersN(b *testing.B) { benchBatchWallClock(b, runtime.GOMAXPROCS(0)) }
+
+// Steady-state allocation: the slab pools should keep per-decode
+// allocations flat when results are released back.
+func BenchmarkDecodeSteadyStateAllocs(b *testing.B) {
+	items, err := imagegen.SizeSweep(jfif.Sub422, 0.5, [][2]int{{1024, 768}}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := items[0].Data
+	spec := platform.GTX560()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: core.ModeGPU, Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
 }
 
 // Extension: parallel Huffman decoding across restart intervals lifts

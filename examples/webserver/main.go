@@ -2,10 +2,13 @@
 // inside out — an image service that decodes uploaded JPEGs with the
 // heterogeneous decoder and reports its scheduling decisions. POST a
 // JPEG to /decode to get the decoded dimensions, the CPU/GPU split and
-// the virtual schedule; GET /platforms lists the simulated machines.
+// the virtual schedule; POST a multipart form of JPEGs to /batch to
+// decode them concurrently on the worker pool and get the cross-image
+// pipelining gain; GET /platforms lists the simulated machines.
 //
 //	go run ./examples/webserver -addr :8080 &
 //	curl -s --data-binary @photo.jpg localhost:8080/decode?mode=pps | jq
+//	curl -s -F img=@a.jpg -F img=@b.jpg -F img=@c.jpg localhost:8080/batch | jq
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"hetjpeg"
@@ -22,8 +26,9 @@ import (
 )
 
 type server struct {
-	spec  *hetjpeg.Platform
-	model *hetjpeg.Model
+	spec    *hetjpeg.Platform
+	model   *hetjpeg.Model
+	workers int
 }
 
 type decodeReply struct {
@@ -41,6 +46,22 @@ type decodeReply struct {
 	Error         string  `json:"error,omitempty"`
 }
 
+func (s *server) modeFromQuery(r *http.Request) (core.Mode, error) {
+	mode := hetjpeg.ModePPS
+	if q := r.URL.Query().Get("mode"); q != "" {
+		found := false
+		for _, m := range hetjpeg.AllModes() {
+			if m.String() == q {
+				mode, found = m, true
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("unknown mode %q", q)
+		}
+	}
+	return mode, nil
+}
+
 func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a JPEG body", http.StatusMethodNotAllowed)
@@ -51,18 +72,10 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	mode := hetjpeg.ModePPS
-	if q := r.URL.Query().Get("mode"); q != "" {
-		found := false
-		for _, m := range hetjpeg.AllModes() {
-			if m.String() == q {
-				mode, found = m, true
-			}
-		}
-		if !found {
-			http.Error(w, fmt.Sprintf("unknown mode %q", q), http.StatusBadRequest)
-			return
-		}
+	mode, err := s.modeFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	start := time.Now()
 	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model})
@@ -78,6 +91,124 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		reply.CPUMCURows = res.Stats.CPUMCURows
 		reply.Chunks = res.Stats.Chunks
 		reply.Repartitioned = res.Stats.Repartitioned
+		// The reply carries only metadata; hand the pixel and coefficient
+		// slabs back to the pool so concurrent request load stays
+		// allocation-flat.
+		res.Release()
+	}
+	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+type batchImageReply struct {
+	Index      int     `json:"index"`
+	Width      int     `json:"width,omitempty"`
+	Height     int     `json:"height,omitempty"`
+	VirtualMs  float64 `json:"virtualMs,omitempty"`
+	GPUMCURows int     `json:"gpuMcuRows,omitempty"`
+	CPUMCURows int     `json:"cpuMcuRows,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+type batchReply struct {
+	Mode        string            `json:"mode"`
+	Platform    string            `json:"platform"`
+	Workers     int               `json:"workers"`
+	Images      []batchImageReply `json:"images"`
+	Failed      int               `json:"failed"`
+	SerialMs    float64           `json:"serialMs"`
+	PipelinedMs float64           `json:"pipelinedMs"`
+	Gain        float64           `json:"gain"`
+	WallMs      float64           `json:"wallMs"`
+}
+
+// batch decodes every part of a multipart upload concurrently. One
+// corrupt image does not fail the request: its slot carries the error.
+func (s *server) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a multipart form of JPEGs", http.StatusMethodNotAllowed)
+		return
+	}
+	mode, err := s.modeFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	const (
+		maxImages    = 256
+		maxImageSize = 64 << 20
+		maxBatchSize = 512 << 20
+	)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchSize)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		http.Error(w, "expected multipart/form-data: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var datas [][]byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(datas) == maxImages {
+			part.Close()
+			http.Error(w, fmt.Sprintf("too many images (max %d)", maxImages), http.StatusRequestEntityTooLarge)
+			return
+		}
+		// Read one byte past the cap so an at-limit part is detected as
+		// oversized rather than silently truncated.
+		data, err := io.ReadAll(io.LimitReader(part, maxImageSize+1))
+		part.Close()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(data) > maxImageSize {
+			http.Error(w, fmt.Sprintf("image %d exceeds %d bytes", len(datas), maxImageSize), http.StatusRequestEntityTooLarge)
+			return
+		}
+		datas = append(datas, data)
+	}
+	if len(datas) == 0 {
+		http.Error(w, "no images in form", http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	res, err := hetjpeg.DecodeBatchContext(r.Context(), datas, hetjpeg.BatchOptions{
+		Spec: s.spec, Model: s.model, Mode: mode, ModeSet: true, Workers: s.workers,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	reply := batchReply{
+		Mode:        mode.String(),
+		Platform:    s.spec.Name,
+		Workers:     s.workers,
+		Failed:      res.Failed,
+		SerialMs:    res.SerialNs / 1e6,
+		PipelinedMs: res.PipelinedNs / 1e6,
+		Gain:        res.Gain(),
+	}
+	for _, ir := range res.Images {
+		img := batchImageReply{Index: ir.Index}
+		if ir.Err != nil {
+			img.Error = ir.Err.Error()
+		} else {
+			img.Width, img.Height = ir.Res.Image.W, ir.Res.Image.H
+			img.VirtualMs = ir.Res.TotalNs / 1e6
+			img.GPUMCURows = ir.Res.Stats.GPUMCURows
+			img.CPUMCURows = ir.Res.Stats.CPUMCURows
+			ir.Res.Release()
+		}
+		reply.Images = append(reply.Images, img)
 	}
 	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
 	w.Header().Set("Content-Type", "application/json")
@@ -105,6 +236,7 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", ":8080", "listen address")
 	platformName := flag.String("platform", "GTX 560", "simulated machine")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent decodes per /batch request")
 	flag.Parse()
 
 	spec := hetjpeg.PlatformByName(*platformName)
@@ -116,10 +248,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{spec: spec, model: model}
+	s := &server{spec: spec, model: model, workers: *workers}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decode", s.decode)
+	mux.HandleFunc("/batch", s.batch)
 	mux.HandleFunc("/platforms", s.platforms)
-	log.Printf("decoding as %s on %s", spec, *addr)
+	log.Printf("decoding as %s on %s (%d batch workers)", spec, *addr, *workers)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -1,0 +1,3 @@
+module hetjpeg
+
+go 1.24

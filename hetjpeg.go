@@ -28,6 +28,7 @@
 package hetjpeg
 
 import (
+	"context"
 	"image"
 
 	"hetjpeg/internal/batch"
@@ -139,16 +140,41 @@ func FromStdImage(src image.Image) *Image {
 	return out
 }
 
-// BatchOptions configures DecodeBatch.
+// BatchOptions configures DecodeBatch. Workers bounds wall-clock
+// concurrency (0 = GOMAXPROCS).
 type BatchOptions = batch.Options
 
 // BatchResult is the outcome of DecodeBatch.
 type BatchResult = batch.Result
 
-// DecodeBatch decodes a stream of images, overlapping each image's
-// CPU-side entropy decoding with the previous image's device work — the
-// gallery/browser workload the paper's introduction motivates. Per-image
-// scheduling uses PPS when a model is provided.
+// BatchImageResult is one image of a batch. Its Err field isolates that
+// image's failure: a corrupt JPEG never aborts the batch.
+type BatchImageResult = batch.ImageResult
+
+// BatchExecutor is a long-lived concurrent decode service with a
+// streaming Submit/Results interface.
+type BatchExecutor = batch.Executor
+
+// NewBatchExecutor starts a worker pool that decodes submitted images
+// concurrently and delivers them on Results in completion order.
+func NewBatchExecutor(opts BatchOptions) (*BatchExecutor, error) {
+	return batch.NewExecutor(opts)
+}
+
+// DecodeBatch decodes a stream of images on a worker pool (wall-clock
+// concurrency) while preserving the paper's virtual-time story: the
+// merged timeline overlaps each image's CPU-side entropy decoding with
+// the previous image's device work — the gallery/browser workload the
+// paper's introduction motivates. Per-image scheduling uses PPS when a
+// model is provided. Decode failures are isolated per image in
+// BatchImageResult.Err; the returned error covers configuration
+// problems only.
 func DecodeBatch(datas [][]byte, opts BatchOptions) (*BatchResult, error) {
 	return batch.Decode(datas, opts)
+}
+
+// DecodeBatchContext is DecodeBatch with cancellation: images not yet
+// decoded when ctx is cancelled report ctx.Err() in their slot.
+func DecodeBatchContext(ctx context.Context, datas [][]byte, opts BatchOptions) (*BatchResult, error) {
+	return batch.DecodeContext(ctx, datas, opts)
 }

@@ -1,15 +1,28 @@
 // Package batch extends the paper's single-image pipeline to streams of
 // images — the workload its introduction motivates (billions of photos
-// viewed through browsers and galleries). A batch decode keeps the
-// paper's invariant that entropy decoding is sequential per image, but
-// overlaps image k's CPU-side Huffman work with image k-1's device-side
-// parallel phase, so the device never drains between images. Each image
-// still uses the per-image dynamic partitioning (PPS) internally when a
-// model is available.
+// viewed through browsers and galleries). It is two schedulers in one:
+//
+// In wall-clock time, a worker-pool executor decodes independent images
+// on parallel goroutines (images are independent once entropy decoding
+// is per-image), so a multi-core host reaches near-linear batch
+// throughput. Submit/Results give a streaming interface for services;
+// Decode is the slice-based convenience wrapper.
+//
+// In virtual time, the paper's semantics are preserved exactly: each
+// image's timeline keeps the invariant that entropy decoding is
+// sequential per image, and the per-image timelines are merged
+// deterministically (in submission order) into a single batch schedule
+// in which image k's CPU-side Huffman work overlaps image k-1's
+// device-side parallel phase, so the device never drains between
+// images. Each image still uses the per-image dynamic partitioning
+// (PPS) internally when a model is available.
 package batch
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hetjpeg/internal/core"
 	"hetjpeg/internal/perfmodel"
@@ -26,9 +39,35 @@ type Options struct {
 	Mode core.Mode
 	// hasMode distinguishes the zero value from an explicit Sequential.
 	ModeSet bool
+	// Workers bounds how many images decode concurrently (wall-clock).
+	// Zero means runtime.GOMAXPROCS(0). The virtual batch timeline is
+	// independent of Workers.
+	Workers int
+}
+
+func (o Options) mode() core.Mode {
+	if o.ModeSet {
+		return o.Mode
+	}
+	if o.Model != nil {
+		return core.ModePPS
+	}
+	return core.ModePipelinedGPU
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // ImageResult is one decoded image of the batch.
+//
+// Err records that image's failure in isolation: a corrupt JPEG never
+// aborts the batch. The other images decode normally, the failed one
+// contributes nothing to the merged timeline, and Res is nil. Callers
+// iterating a batch must therefore check Err per image.
 type ImageResult struct {
 	Index int
 	Res   *core.Result
@@ -38,6 +77,8 @@ type ImageResult struct {
 // Result summarizes a batch decode.
 type Result struct {
 	Images []ImageResult
+	// Failed counts images whose Err is non-nil.
+	Failed int
 	// SerialNs is the sum of per-image virtual makespans (what a naive
 	// loop would cost).
 	SerialNs float64
@@ -48,85 +89,6 @@ type Result struct {
 	Timeline *sim.Timeline
 }
 
-// Decode decodes the images in order, producing per-image results plus
-// the overlapped batch timeline.
-func Decode(datas [][]byte, opts Options) (*Result, error) {
-	if opts.Spec == nil {
-		return nil, fmt.Errorf("batch: Spec is required")
-	}
-	mode := opts.Mode
-	if !opts.ModeSet {
-		if opts.Model != nil {
-			mode = core.ModePPS
-		} else {
-			mode = core.ModePipelinedGPU
-		}
-	}
-
-	out := &Result{Timeline: sim.New()}
-	// The merged timeline re-plays every image's tasks in order. The CPU
-	// lane is strictly serial across images (one control thread); the
-	// device lane is an in-order queue, so image k's kernels queue after
-	// image k-1's. Overlap emerges exactly as in the paper's Figure 5b,
-	// but across image boundaries.
-	var gpuPrev *sim.Task
-	for i, data := range datas {
-		res, err := core.Decode(data, core.Options{
-			Mode:  mode,
-			Spec:  opts.Spec,
-			Model: opts.Model,
-		})
-		out.Images = append(out.Images, ImageResult{Index: i, Res: res, Err: err})
-		if err != nil {
-			return out, fmt.Errorf("batch: image %d: %w", i, err)
-		}
-		out.SerialNs += res.TotalNs
-
-		// Replay this image's tasks onto the merged timeline, keeping
-		// per-image dependency structure: CPU tasks serialize on the
-		// shared CPU lane; the first GPU task of the image additionally
-		// waits for its dispatch (tracked via task order).
-		idMap := make(map[int]*sim.Task)
-		for _, t := range res.Timeline.Tasks() {
-			var deps []*sim.Task
-			if t.Resource == sim.ResGPU {
-				// Preserve the dispatch dependency: the original task
-				// started no earlier than its CPU-side predecessor; the
-				// simplest faithful mapping is to depend on the latest
-				// replayed CPU task.
-				if last := idMap[lastCPUID(res.Timeline, t)]; last != nil {
-					deps = append(deps, last)
-				}
-				if gpuPrev != nil {
-					deps = append(deps, gpuPrev)
-				}
-			}
-			nt := out.Timeline.Add(t.Resource, t.Kind, fmt.Sprintf("img%d:%s", i, t.Label), t.Cost, deps...)
-			idMap[t.ID] = nt
-			if t.Resource == sim.ResGPU {
-				gpuPrev = nt
-			}
-		}
-	}
-	out.PipelinedNs = out.Timeline.Makespan()
-	return out, nil
-}
-
-// lastCPUID finds the ID of the most recent CPU-lane task submitted
-// before t in tl (its effective dispatch).
-func lastCPUID(tl *sim.Timeline, t *sim.Task) int {
-	last := -1
-	for _, u := range tl.Tasks() {
-		if u.ID >= t.ID {
-			break
-		}
-		if u.Resource == sim.ResCPU {
-			last = u.ID
-		}
-	}
-	return last
-}
-
 // Gain reports the batch-pipelining benefit: serial time over overlapped
 // time.
 func (r *Result) Gain() float64 {
@@ -134,4 +96,201 @@ func (r *Result) Gain() float64 {
 		return 0
 	}
 	return r.SerialNs / r.PipelinedNs
+}
+
+// job is one submitted image.
+type job struct {
+	ctx   context.Context
+	index int
+	data  []byte
+}
+
+// Executor is a concurrent batch-decode service: a pool of workers that
+// decode submitted images in parallel and deliver them on Results in
+// completion order. A long-running process creates one Executor and
+// feeds it requests; one-shot batches can use Decode instead.
+type Executor struct {
+	opts    Options
+	jobs    chan job
+	results chan ImageResult
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewExecutor starts opts.Workers decode workers.
+func NewExecutor(opts Options) (*Executor, error) {
+	if opts.Spec == nil {
+		return nil, fmt.Errorf("batch: Spec is required")
+	}
+	n := opts.workers()
+	e := &Executor{
+		opts:    opts,
+		jobs:    make(chan job),
+		results: make(chan ImageResult, n),
+	}
+	e.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		e.results <- e.decodeOne(j)
+	}
+}
+
+func (e *Executor) decodeOne(j job) ImageResult {
+	if err := j.ctx.Err(); err != nil {
+		return ImageResult{Index: j.index, Err: err}
+	}
+	res, err := core.Decode(j.data, core.Options{
+		Mode:  e.opts.mode(),
+		Spec:  e.opts.Spec,
+		Model: e.opts.Model,
+	})
+	if err != nil {
+		return ImageResult{Index: j.index, Err: fmt.Errorf("batch: image %d: %w", j.index, err)}
+	}
+	return ImageResult{Index: j.index, Res: res}
+}
+
+// Submit enqueues one image. It blocks while all workers are busy and
+// the result buffer is full; it returns ctx.Err() if ctx is cancelled
+// first. Index is echoed in the corresponding ImageResult. Submit must
+// not be called after Close.
+func (e *Executor) Submit(ctx context.Context, index int, data []byte) error {
+	select {
+	case e.jobs <- job{ctx: ctx, index: index, data: data}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Results returns the channel on which decoded images arrive, in
+// completion order (not submission order). It is closed after Close
+// once all in-flight decodes have drained.
+func (e *Executor) Results() <-chan ImageResult { return e.results }
+
+// Close stops accepting submissions and, once the in-flight decodes
+// drain, closes the Results channel. It does not block.
+func (e *Executor) Close() {
+	e.once.Do(func() {
+		close(e.jobs)
+		go func() {
+			e.wg.Wait()
+			close(e.results)
+		}()
+	})
+}
+
+// Decode decodes the images concurrently (bounded by Options.Workers),
+// producing per-image results plus the overlapped batch timeline. It
+// returns an error only for configuration problems (a missing Spec);
+// per-image decode failures are isolated in ImageResult.Err and counted
+// in Result.Failed.
+func Decode(datas [][]byte, opts Options) (*Result, error) {
+	return DecodeContext(context.Background(), datas, opts)
+}
+
+// DecodeContext is Decode with cancellation: when ctx is cancelled,
+// images not yet decoded report ctx.Err() in their ImageResult.Err and
+// the call returns promptly with whatever finished.
+func DecodeContext(ctx context.Context, datas [][]byte, opts Options) (*Result, error) {
+	ex, err := NewExecutor(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Images: make([]ImageResult, len(datas))}
+
+	// The producer writes only the indices it fails to submit; the
+	// collector below writes only submitted indices — disjoint slots.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer ex.Close()
+		for i, data := range datas {
+			if err := ex.Submit(ctx, i, data); err != nil {
+				for j := i; j < len(datas); j++ {
+					out.Images[j] = ImageResult{Index: j, Err: err}
+				}
+				return
+			}
+		}
+	}()
+	for ir := range ex.Results() {
+		out.Images[ir.Index] = ir
+	}
+	<-done
+
+	for _, ir := range out.Images {
+		if ir.Err != nil {
+			out.Failed++
+			continue
+		}
+		out.SerialNs += ir.Res.TotalNs
+	}
+	out.Timeline = MergeTimelines(out.Images)
+	out.PipelinedNs = out.Timeline.Makespan()
+	return out, nil
+}
+
+// MergeTimelines replays the per-image timelines onto one merged batch
+// schedule, in Images order (deterministic regardless of which worker
+// finished first), keeping per-image dependency structure: CPU tasks
+// serialize on the shared CPU lane (one control thread); the device
+// lane is an in-order queue, so image k's kernels queue after image
+// k-1's, and each GPU task additionally waits for its dispatch. Overlap
+// emerges exactly as in the paper's Figure 5b, but across image
+// boundaries. Failed images are skipped.
+func MergeTimelines(images []ImageResult) *sim.Timeline {
+	out := sim.New()
+	var gpuPrev *sim.Task
+	for _, ir := range images {
+		if ir.Err != nil || ir.Res == nil {
+			continue
+		}
+		dispatch := dispatchMap(ir.Res.Timeline)
+		idMap := make(map[int]*sim.Task, len(ir.Res.Timeline.Tasks()))
+		for _, t := range ir.Res.Timeline.Tasks() {
+			var deps []*sim.Task
+			if t.Resource == sim.ResGPU {
+				// Preserve the dispatch dependency: the original task
+				// started no earlier than its CPU-side predecessor.
+				if last := idMap[dispatch[t.ID]]; last != nil {
+					deps = append(deps, last)
+				}
+				if gpuPrev != nil {
+					deps = append(deps, gpuPrev)
+				}
+			}
+			nt := out.Add(t.Resource, t.Kind, fmt.Sprintf("img%d:%s", ir.Index, t.Label), t.Cost, deps...)
+			idMap[t.ID] = nt
+			if t.Resource == sim.ResGPU {
+				gpuPrev = nt
+			}
+		}
+	}
+	return out
+}
+
+// dispatchMap precomputes, in one pass over the timeline, each GPU
+// task's effective dispatch: the ID of the latest CPU-lane task
+// submitted before it (-1 if none). Tasks are in submission order, so a
+// running "last CPU task" suffices; the old per-task rescan was O(n²).
+func dispatchMap(tl *sim.Timeline) map[int]int {
+	m := make(map[int]int)
+	last := -1
+	for _, t := range tl.Tasks() {
+		switch t.Resource {
+		case sim.ResCPU:
+			last = t.ID
+		case sim.ResGPU:
+			m[t.ID] = last
+		}
+	}
+	return m
 }

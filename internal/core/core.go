@@ -105,6 +105,21 @@ type Result struct {
 	Stats  Stats
 }
 
+// Release returns the decode's large buffers (coefficients, sample
+// planes, RGB pixels) to the codec's slab pools and nils Image.Pix,
+// Frame.Coeff and Frame.Samples. Call it only when the result's pixels
+// are no longer needed — a long-running service does so after encoding
+// its response, keeping steady-state allocation flat. Releasing is
+// optional; an unreleased result is simply garbage-collected.
+func (r *Result) Release() {
+	if r.Frame != nil {
+		r.Frame.Release()
+	}
+	if r.Image != nil {
+		r.Image.Release()
+	}
+}
+
 // Decode decompresses a baseline JPEG stream under the given mode.
 func Decode(data []byte, opts Options) (*Result, error) {
 	if opts.Spec == nil {

@@ -45,6 +45,7 @@ func (st *decodeState) runGPU(pipelined bool) error {
 		dev := gpusim.New(st.opts.Spec)
 		eng := kernels.NewEngine(dev, f, !st.opts.SplitKernels)
 		st.runChunksOnDevice(eng, chunks)
+		eng.Release()
 	}
 
 	tl := sim.New()
@@ -141,6 +142,7 @@ func (st *decodeState) runPartitioned(pps bool) error {
 		}()
 		tile.exec(f, st.out)
 		wg.Wait()
+		eng.Release()
 	}
 
 	// Virtual timeline: the CPU decodes entropy for the GPU chunks (and

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"hetjpeg/internal/platform"
+	"hetjpeg/internal/pool"
 )
 
 // WarpSize is the SIMT issue width (NVIDIA terminology, Section 4.1).
@@ -38,6 +39,15 @@ func New(spec *platform.Spec) *Device {
 	return &Device{Spec: spec, workers: runtime.GOMAXPROCS(0)}
 }
 
+// Device buffers are the other large per-decode allocation besides the
+// host-side whole-image buffers; they recycle through the same kind of
+// slab pool (a real device would likewise reuse cl_mem allocations
+// across decodes rather than re-allocate device memory per image).
+var (
+	coefSlabs pool.Slab[int16]
+	byteSlabs pool.Slab[byte]
+)
+
 // CoefBuffer is a device-resident buffer of DCT coefficients (int16 on
 // the wire, as in the paper's `short` buffers).
 type CoefBuffer struct{ Data []int16 }
@@ -45,11 +55,29 @@ type CoefBuffer struct{ Data []int16 }
 // ByteBuffer is a device-resident buffer of samples or RGB bytes.
 type ByteBuffer struct{ Data []byte }
 
-// NewCoefBuffer allocates a device coefficient buffer.
-func (d *Device) NewCoefBuffer(n int) *CoefBuffer { return &CoefBuffer{Data: make([]int16, n)} }
+// NewCoefBuffer allocates a device coefficient buffer (zeroed).
+func (d *Device) NewCoefBuffer(n int) *CoefBuffer { return &CoefBuffer{Data: coefSlabs.Get(n)} }
 
-// NewByteBuffer allocates a device byte buffer.
-func (d *Device) NewByteBuffer(n int) *ByteBuffer { return &ByteBuffer{Data: make([]byte, n)} }
+// NewByteBuffer allocates a device byte buffer (zeroed).
+func (d *Device) NewByteBuffer(n int) *ByteBuffer { return &ByteBuffer{Data: byteSlabs.Get(n)} }
+
+// Free returns the buffer's backing slab to the device allocator. The
+// buffer must not be used afterwards; freeing is optional.
+func (b *CoefBuffer) Free() {
+	if b != nil && b.Data != nil {
+		coefSlabs.Put(b.Data)
+		b.Data = nil
+	}
+}
+
+// Free returns the buffer's backing slab to the device allocator. The
+// buffer must not be used afterwards; freeing is optional.
+func (b *ByteBuffer) Free() {
+	if b != nil && b.Data != nil {
+		byteSlabs.Put(b.Data)
+		b.Data = nil
+	}
+}
 
 // CopyInAt moves host coefficients (int32 in the whole-image buffer) into
 // a device buffer at element offset off, narrowing to int16 (the paper's

@@ -10,7 +10,23 @@ import (
 	"fmt"
 
 	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/pool"
 )
+
+// Slab pools for the large per-decode buffers (whole-image coefficients,
+// sample planes, interleaved RGB output), so steady-state batch decoding
+// stays allocation-flat. Reused slabs come back zeroed (entropy decoding
+// writes only the nonzero coefficients, and VirtualOnly decodes promise
+// a zeroed image).
+var (
+	coeffPool pool.Slab[int32] // whole-image coefficient slabs
+	bytePool  pool.Slab[byte]  // sample planes and RGB pixels
+)
+
+func getCoeffSlab(n int) []int32 { return coeffPool.Get(n) }
+func putCoeffSlab(s []int32)     { coeffPool.Put(s) }
+func getByteSlab(n int) []byte   { return bytePool.Get(n) }
+func putByteSlab(s []byte)       { bytePool.Put(s) }
 
 // PlaneInfo describes the padded sample geometry of one component.
 type PlaneInfo struct {
@@ -106,8 +122,8 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 		}
 		f.Planes[i] = p
 		if alloc {
-			f.Coeff[i] = make([]int32, p.Blocks()*64)
-			f.Samples[i] = make([]byte, p.PlaneW()*p.PlaneH())
+			f.Coeff[i] = getCoeffSlab(p.Blocks() * 64)
+			f.Samples[i] = getByteSlab(p.PlaneW() * p.PlaneH())
 		}
 	}
 	return f, nil
@@ -177,15 +193,46 @@ func (f *Frame) TotalBlocks() int {
 	return n
 }
 
+// Release returns the frame's coefficient and sample slabs to the
+// decoder's buffer pools. The frame's geometry stays valid, but Coeff
+// and Samples become nil: call it only once the pixels (or coefficients)
+// are no longer needed. Releasing is optional — an unreleased frame is
+// simply garbage-collected.
+func (f *Frame) Release() {
+	for i := range f.Coeff {
+		if f.Coeff[i] != nil {
+			putCoeffSlab(f.Coeff[i])
+			f.Coeff[i] = nil
+		}
+	}
+	for i := range f.Samples {
+		if f.Samples[i] != nil {
+			putByteSlab(f.Samples[i])
+			f.Samples[i] = nil
+		}
+	}
+}
+
 // RGBImage is a decoded image: interleaved 8-bit RGB.
 type RGBImage struct {
 	W, H int
 	Pix  []byte // len = W*H*3
 }
 
-// NewRGBImage allocates a w×h RGB image.
+// NewRGBImage allocates a w×h RGB image, reusing a pooled pixel buffer
+// when one is available.
 func NewRGBImage(w, h int) *RGBImage {
-	return &RGBImage{W: w, H: h, Pix: make([]byte, w*h*3)}
+	return &RGBImage{W: w, H: h, Pix: getByteSlab(w * h * 3)}
+}
+
+// Release returns the image's pixel buffer to the decoder's buffer pool
+// and nils Pix. Call it only once the pixels are no longer needed;
+// releasing is optional.
+func (im *RGBImage) Release() {
+	if im.Pix != nil {
+		putByteSlab(im.Pix)
+		im.Pix = nil
+	}
 }
 
 // At returns the pixel at (x, y).

@@ -78,6 +78,21 @@ func NewEngine(dev *gpusim.Device, f *jpegcodec.Frame, merged bool) *Engine {
 	return e
 }
 
+// Release returns the engine's device buffers to the device allocator's
+// slab pools. The engine must not decode afterwards; releasing is
+// optional (an unreleased engine is garbage-collected).
+func (e *Engine) Release() {
+	for _, b := range e.coef {
+		b.Free()
+	}
+	for _, b := range e.samples {
+		b.Free()
+	}
+	e.rgb.Free()
+	e.upsCb.Free()
+	e.upsCr.Free()
+}
+
 // DecodeChunk runs the full GPU parallel phase for MCU rows [m0, m1):
 // host-to-device transfer of the chunk's coefficients, the kernel plan
 // for the frame's subsampling, and the device-to-host readback of the
@@ -147,20 +162,41 @@ type blockRef struct {
 	by   int
 }
 
+// blockIndex maps a flat launch index to a blockRef (Y|Cb|Cr buffer
+// order over MCU rows [m0, m1)) arithmetically, so a launch does not
+// materialize a per-block slice on every chunk.
+type blockIndex struct {
+	f   *jpegcodec.Frame
+	m0  int
+	cum [4]int // cumulative block counts per component
+	n   int
+}
+
+func newBlockIndex(f *jpegcodec.Frame, m0, m1 int) blockIndex {
+	ix := blockIndex{f: f, m0: m0}
+	for c, p := range f.Planes {
+		ix.cum[c+1] = ix.cum[c] + (m1-m0)*p.V*p.BlocksPerRow
+	}
+	ix.n = ix.cum[len(f.Planes)]
+	return ix
+}
+
+func (ix *blockIndex) at(bi int) blockRef {
+	c := 0
+	for bi >= ix.cum[c+1] {
+		c++
+	}
+	p := ix.f.Planes[c]
+	rel := bi - ix.cum[c]
+	return blockRef{c, rel % p.BlocksPerRow, ix.m0*p.V + rel/p.BlocksPerRow}
+}
+
 // runIDCT launches the Section 4.1 IDCT kernel over every block of every
 // component in MCU rows [m0, m1) (single launch, Y|Cb|Cr buffer order).
 func (e *Engine) runIDCT(m0, m1 int) CostRecord {
 	f := e.F
-	var refs []blockRef
-	for c, p := range f.Planes {
-		b1 := m1 * p.V
-		for by := m0 * p.V; by < b1; by++ {
-			for bx := 0; bx < p.BlocksPerRow; bx++ {
-				refs = append(refs, blockRef{c, bx, by})
-			}
-		}
-	}
-	nBlocks := len(refs)
+	ix := newBlockIndex(f, m0, m1)
+	nBlocks := ix.n
 	groupBlocks := e.Dev.Spec.WorkGroupBlocks
 	groups := (nBlocks + groupBlocks - 1) / groupBlocks
 
@@ -169,7 +205,7 @@ func (e *Engine) runIDCT(m0, m1 int) CostRecord {
 		if bi >= nBlocks {
 			return
 		}
-		r := refs[bi]
+		r := ix.at(bi)
 		p := f.Planes[r.comp]
 		c := item % 8
 		base := (r.by*p.BlocksPerRow + r.bx) * 64
@@ -187,7 +223,7 @@ func (e *Engine) runIDCT(m0, m1 int) CostRecord {
 		if bi >= nBlocks {
 			return
 		}
-		r := refs[bi]
+		r := ix.at(bi)
 		p := f.Planes[r.comp]
 		row := item % 8
 		local := g.Local[(item/8)*64 : (item/8)*64+64]
