@@ -1,0 +1,49 @@
+# Developer entry points. The repo is plain `go build ./...` /
+# `go test ./...`; these targets wrap the recurring workflows.
+
+BENCH_OUT ?= BENCH_2.json
+BENCH_COUNT ?= 5
+BENCH_TIME ?= 1s
+# The single-image decode hot path tracked across PRs.
+BENCH_PATTERN ?= BenchmarkDecodeScalar$$|BenchmarkDecodeScalarSub|BenchmarkDecodeScalarSize|BenchmarkParallelPhaseScalar|BenchmarkEntropySequential$$|BenchmarkEntropyParallelRestart$$
+
+.PHONY: all build test race bench bench-smoke fuzz-smoke fmt vet
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench records the decode perf trajectory: raw `go test -bench` output
+# goes to bench.txt (benchstat-compatible), the parsed summary to
+# $(BENCH_OUT). Bump BENCH_OUT per PR (BENCH_2.json, BENCH_3.json, ...)
+# so the history stays diffable.
+bench:
+	go test ./internal/jpegcodec/ -run='^$$' -bench='$(BENCH_PATTERN)' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench.txt
+	go run ./cmd/benchjson < bench.txt > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# bench-smoke compiles and runs every benchmark in the repo exactly once
+# (CI uses it so benchmarks can never silently rot).
+bench-smoke:
+	go test ./... -run='^$$' -bench=. -benchtime=1x
+
+# fuzz-smoke runs the native fuzzers briefly (CI budget).
+fuzz-smoke:
+	go test ./internal/bitstream/ -fuzz=FuzzReaderMatchesReference -fuzztime=10s
+	go test ./internal/bitstream/ -fuzz=FuzzWriterReaderRoundTrip -fuzztime=10s
+	go test ./internal/huffman/ -fuzz=FuzzDecodeArbitraryBits -fuzztime=10s
+	go test ./internal/huffman/ -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	go vet ./...

@@ -1,0 +1,149 @@
+// Command benchjson converts `go test -bench` output (stdin) into a
+// stable JSON document (stdout): one record per benchmark with per-run
+// samples and mean/min summaries. The repo's `make bench` target pipes
+// the decode benchmarks through it to produce BENCH_<n>.json, the
+// per-PR performance trajectory record that benchstat-style comparisons
+// in README.md and PR descriptions are built from.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark run (one line of -count output).
+type Sample struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Benchmark aggregates all runs of one benchmark name.
+type Benchmark struct {
+	Name        string   `json:"name"`
+	Runs        int      `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`     // mean
+	MinNsPerOp  float64  `json:"min_ns_per_op"` // best run
+	MBPerS      float64  `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64    `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64    `json:"allocs_per_op,omitempty"`
+	Samples     []Sample `json:"samples"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{}
+	byName := map[string]*Benchmark{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := Sample{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+				ok = true
+			case "MB/s":
+				s.MBPerS = v
+			case "B/op":
+				s.BytesPerOp = int64(v)
+			case "allocs/op":
+				s.AllocsPerOp = int64(v)
+			}
+		}
+		if !ok {
+			continue
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Samples = append(b.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		b := byName[name]
+		b.Runs = len(b.Samples)
+		b.MinNsPerOp = b.Samples[0].NsPerOp
+		var ns, mb float64
+		var bytes, allocs int64
+		for _, s := range b.Samples {
+			ns += s.NsPerOp
+			mb += s.MBPerS
+			bytes += s.BytesPerOp
+			allocs += s.AllocsPerOp
+			if s.NsPerOp < b.MinNsPerOp {
+				b.MinNsPerOp = s.NsPerOp
+			}
+		}
+		n := float64(b.Runs)
+		b.NsPerOp = ns / n
+		b.MBPerS = mb / n
+		b.BytesPerOp = bytes / int64(b.Runs)
+		b.AllocsPerOp = allocs / int64(b.Runs)
+		rep.Benchmarks = append(rep.Benchmarks, *b)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

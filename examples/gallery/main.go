@@ -62,6 +62,10 @@ func main() {
 					log.Fatalf("%v on %s: %v", mode, it.Name, err)
 				}
 				virtual += res.TotalNs
+				// Recycle the pooled buffers: a gallery page decodes
+				// dozens of images, and releasing keeps the whole sweep
+				// allocation-flat.
+				res.Release()
 			}
 			if mode == hetjpeg.ModeSIMD {
 				simdTotal = virtual

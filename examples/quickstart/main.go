@@ -63,4 +63,9 @@ func main() {
 		}
 	}
 	fmt.Printf("  bit-exact      %v\n", same)
+
+	// Return the pooled decode buffers once the pixels are done with —
+	// the allocation discipline a long-running service should model.
+	simd.Release()
+	res.Release()
 }

@@ -5,6 +5,7 @@
 package bitstream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -26,11 +27,19 @@ func (e ErrMarker) Error() string {
 // Reader reads bits MSB-first from a JPEG entropy-coded segment, removing
 // byte stuffing. It keeps the position of the last consumed byte so callers
 // can account for entropy-coded data size per region.
+//
+// The accumulator is refilled eagerly, up to 8 bytes at a time: a SWAR
+// scan finds the next 0xFF so runs of stuffing-free bytes load as whole
+// 64-bit words instead of one byte per conditional. A Huffman
+// lookup-decode plus its appended magnitude bits (at most 16+16+11 bits
+// between refills) always fits in the >= 56 bits a refill guarantees
+// while input lasts.
 type Reader struct {
 	data   []byte
 	pos    int    // next byte index in data
 	acc    uint64 // bit accumulator, MSB-aligned in the low `bits` bits
-	bits   uint   // number of valid bits in acc
+	bits   uint   // number of valid bits in acc, including pad zeros
+	pad    uint   // low-order synthetic zero bits appended past a marker
 	marker byte   // pending marker code (0 if none)
 }
 
@@ -45,6 +54,7 @@ func (r *Reader) Reset(data []byte) {
 	r.pos = 0
 	r.acc = 0
 	r.bits = 0
+	r.pad = 0
 	r.marker = 0
 }
 
@@ -52,66 +62,108 @@ func (r *Reader) Reset(data []byte) {
 // stuffed bytes. Bits buffered in the accumulator count as consumed.
 func (r *Reader) BytePos() int { return r.pos }
 
-// BitsBuffered returns the number of bits currently buffered (useful for
-// precise entropy-size accounting: consumed bits = 8*BytePos - BitsBuffered,
-// approximately, ignoring stuffing).
-func (r *Reader) BitsBuffered() uint { return r.bits }
+// BitsBuffered returns the number of input bits currently buffered
+// (synthetic zero padding past a marker excluded), so consumed bits =
+// 8*BytePos - BitsBuffered exactly, up to stuffing.
+func (r *Reader) BitsBuffered() uint { return r.bits - r.pad }
 
-// fill loads bytes into the accumulator until at least n bits are buffered
-// or input is exhausted/interrupted by a marker.
-func (r *Reader) fill(n uint) error {
-	for r.bits < n {
-		if r.marker != 0 {
-			// After a marker, JPEG decoders see an endless stream of
-			// zero bits (the spec's handling of truncated data).
-			r.acc = r.acc << 8
-			r.bits += 8
-			continue
+// hasFF reports whether any byte of v equals 0xFF (SWAR zero-byte scan of
+// the complement).
+func hasFF(v uint64) bool {
+	x := ^v
+	return (x-0x0101010101010101)&^x&0x8080808080808080 != 0
+}
+
+// refill tops the accumulator up toward 64 bits. It never pads: on a
+// marker it records the code and stops with the 0xFF unconsumed; at end
+// of input it simply stops. fill decides whether the shortfall is a
+// marker (zero padding) or ErrUnexpectedEOF.
+func (r *Reader) refill() {
+	if r.marker != 0 {
+		return
+	}
+	d, p := r.data, r.pos
+	// Fast path: load stuffing-free 8-byte words whole.
+	for r.bits <= 56 && p+8 <= len(d) {
+		v := binary.BigEndian.Uint64(d[p:])
+		if hasFF(v) {
+			break
 		}
-		if r.pos >= len(r.data) {
-			return ErrUnexpectedEOF
-		}
-		b := r.data[r.pos]
-		r.pos++
+		k := (64 - r.bits) >> 3 // whole bytes that fit, 1..8
+		r.acc = r.acc<<(8*k) | v>>(64-8*k)
+		r.bits += 8 * k
+		p += int(k)
+	}
+	// Slow path: byte at a time with stuffing and marker classification.
+	for r.bits <= 56 && p < len(d) {
+		b := d[p]
 		if b == 0xFF {
-			if r.pos >= len(r.data) {
-				return ErrUnexpectedEOF
+			if p+1 >= len(d) {
+				// A trailing 0xFF cannot be classified; treat as end of
+				// input (matching the byte-at-a-time reader).
+				break
 			}
-			nxt := r.data[r.pos]
-			if nxt == 0x00 {
-				r.pos++ // stuffed byte
-			} else {
-				// Marker: stop consuming, remember it, and pad with zeros.
-				r.marker = nxt
-				r.pos-- // leave 0xFF unconsumed for the caller's accounting
-				r.acc = r.acc << 8
-				r.bits += 8
-				continue
+			if d[p+1] != 0x00 {
+				// Marker: remember it, leave the 0xFF unconsumed for the
+				// caller's accounting.
+				r.marker = d[p+1]
+				break
 			}
+			p++ // stuffed byte
 		}
+		p++
 		r.acc = r.acc<<8 | uint64(b)
 		r.bits += 8
 	}
+	r.pos = p
+}
+
+// fillSlow ensures at least n bits are buffered, refilling eagerly and
+// zero-padding past a marker (the spec's handling of truncated entropy
+// data). Callers guard on r.bits >= n first so the common case inlines.
+func (r *Reader) fillSlow(n uint) error {
+	r.refill()
+	if r.bits >= n {
+		return nil
+	}
+	if r.marker == 0 {
+		return ErrUnexpectedEOF
+	}
+	k := (n - r.bits + 7) &^ 7 // pad whole bytes of zeros
+	r.acc <<= k
+	r.bits += k
+	r.pad += k
 	return nil
 }
 
-// Peek returns the next n bits (1..24) without consuming them. Missing bits
-// past a marker read as zero, matching JPEG decoder convention.
+// Peek returns the next n bits (1..32) without consuming them. Missing
+// bits past a marker read as zero, matching JPEG decoder convention.
+// The buffered-bits guard keeps the common case inlinable.
 func (r *Reader) Peek(n uint) (uint32, error) {
-	if err := r.fill(n); err != nil {
+	if r.bits >= n {
+		return uint32(r.acc>>(r.bits-n)) & uint32(1<<n-1), nil
+	}
+	return r.peekSlow(n)
+}
+
+func (r *Reader) peekSlow(n uint) (uint32, error) {
+	if err := r.fillSlow(n); err != nil {
 		return 0, err
 	}
-	return uint32(r.acc>>(r.bits-n)) & ((1 << n) - 1), nil
+	return uint32(r.acc>>(r.bits-n)) & uint32(1<<n-1), nil
 }
 
 // Consume discards n buffered bits. It must follow a successful Peek of at
 // least n bits.
 func (r *Reader) Consume(n uint) {
 	r.bits -= n
-	r.acc &= (1 << r.bits) - 1
+	if r.pad > r.bits {
+		r.pad = r.bits
+	}
+	r.acc &= 1<<r.bits - 1
 }
 
-// ReadBits reads and consumes n bits (0..24), MSB first.
+// ReadBits reads and consumes n bits (0..32), MSB first.
 func (r *Reader) ReadBits(n uint) (uint32, error) {
 	if n == 0 {
 		return 0, nil
@@ -122,6 +174,27 @@ func (r *Reader) ReadBits(n uint) (uint32, error) {
 	}
 	r.Consume(n)
 	return v, nil
+}
+
+// MustPeek returns the next n bits without consuming them, assuming a
+// prior fill guaranteed availability (callers pair it with Bits()).
+func (r *Reader) MustPeek(n uint) uint32 {
+	return uint32(r.acc>>(r.bits-n)) & uint32(1<<n-1)
+}
+
+// Bits returns the number of bits currently buffered, including zero
+// padding past a marker. The Huffman fast path uses it with Fill32 to
+// decide when unchecked peeks are safe.
+func (r *Reader) Bits() uint { return r.bits }
+
+// Fill32 tries to buffer at least 32 bits (enough for one Huffman code
+// plus its appended magnitude bits) and reports whether it succeeded.
+// Unlike Peek it allocates no error on the truncated-input path.
+func (r *Reader) Fill32() bool {
+	if r.bits >= 32 {
+		return true
+	}
+	return r.fillSlow(32) == nil
 }
 
 // ReadBit reads a single bit.
@@ -141,7 +214,10 @@ func (r *Reader) AlignToByte() {
 // position and resets marker state. Returns the marker code consumed.
 func (r *Reader) SkipRestartMarker() (byte, error) {
 	r.AlignToByte()
-	// Drop whole buffered bytes; they belong before the marker.
+	// Drop whole buffered bytes; they belong before the marker. With the
+	// eager refill these may include real look-ahead bytes only when the
+	// stream is corrupt (a restart marker must directly follow the bits
+	// consumed so far); pad bytes past the marker always drop here.
 	for r.bits >= 8 {
 		r.Consume(8)
 	}

@@ -1,0 +1,132 @@
+package bitstream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// refReader is the byte-at-a-time reference reader (the pre-64-bit
+// implementation): the differential oracle for the eager SWAR refill.
+// It must return exactly the same bit values and error classes.
+type refReader struct {
+	data   []byte
+	pos    int
+	acc    uint64
+	bits   uint
+	marker byte
+}
+
+func (r *refReader) fill(n uint) error {
+	for r.bits < n {
+		if r.marker != 0 {
+			r.acc <<= 8
+			r.bits += 8
+			continue
+		}
+		if r.pos >= len(r.data) {
+			return ErrUnexpectedEOF
+		}
+		b := r.data[r.pos]
+		r.pos++
+		if b == 0xFF {
+			if r.pos >= len(r.data) {
+				return ErrUnexpectedEOF
+			}
+			nxt := r.data[r.pos]
+			if nxt == 0x00 {
+				r.pos++
+			} else {
+				r.marker = nxt
+				r.pos--
+				r.acc <<= 8
+				r.bits += 8
+				continue
+			}
+		}
+		r.acc = r.acc<<8 | uint64(b)
+		r.bits += 8
+	}
+	return nil
+}
+
+func (r *refReader) readBits(n uint) (uint32, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if err := r.fill(n); err != nil {
+		return 0, err
+	}
+	v := uint32(r.acc>>(r.bits-n)) & (1<<n - 1)
+	r.bits -= n
+	r.acc &= 1<<r.bits - 1
+	return v, nil
+}
+
+// FuzzReaderMatchesReference drives both readers with the same read-size
+// schedule (derived from the input) and requires identical values,
+// identical error classes and identical marker codes.
+func FuzzReaderMatchesReference(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF1, 0x10, 0x42}, []byte{8, 4, 1})
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00, 0x01, 0x02}, []byte{16, 3})
+	f.Add([]byte{0xAA, 0xFF, 0xD9, 0x55}, []byte{7, 9, 2})           // EOI marker mid-stream
+	f.Add([]byte{0xFF}, []byte{1})                                   // lone trailing 0xFF
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00}, 20), []byte{24, 24, 24})  // all stuffing
+	f.Add(bytes.Repeat([]byte{0x5C}, 64), []byte{32, 1, 31, 17, 23}) // stuffing-free fast path
+	f.Fuzz(func(t *testing.T, data []byte, sizes []byte) {
+		if len(sizes) == 0 || len(sizes) > 256 {
+			return
+		}
+		fast := NewReader(data)
+		ref := &refReader{data: data}
+		for step := 0; step < 512; step++ {
+			n := uint(sizes[step%len(sizes)]) % 33
+			gv, gerr := fast.ReadBits(n)
+			wv, werr := ref.readBits(n)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("step %d n=%d: err %v vs reference %v", step, n, gerr, werr)
+			}
+			if gerr != nil {
+				if !errors.Is(gerr, ErrUnexpectedEOF) || !errors.Is(werr, ErrUnexpectedEOF) {
+					t.Fatalf("step %d: unexpected error class %v vs %v", step, gerr, werr)
+				}
+				return
+			}
+			if gv != wv {
+				t.Fatalf("step %d n=%d: value %#x vs reference %#x", step, n, gv, wv)
+			}
+			// The eager reader may discover a marker earlier than the lazy
+			// reference, but once the reference has seen it they must agree.
+			if ref.marker != 0 && fast.Marker() != ref.marker {
+				t.Fatalf("step %d: marker %#x vs reference %#x", step, fast.Marker(), ref.marker)
+			}
+		}
+	})
+}
+
+// FuzzWriterReaderRoundTrip writes the input as bit chunks and reads it
+// back through the stuffing-aware reader.
+func FuzzWriterReaderRoundTrip(f *testing.F) {
+	f.Add([]byte{0xFF, 0x01, 0x80, 0x7F})
+	f.Add([]byte{0x00})
+	f.Add(bytes.Repeat([]byte{0xFF}, 9))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 || len(payload) > 1024 {
+			return
+		}
+		w := NewWriter()
+		for _, b := range payload {
+			w.WriteBits(uint32(b), 8)
+		}
+		r := NewReader(w.Flush())
+		for i, want := range payload {
+			got, err := r.ReadBits(8)
+			if err != nil {
+				t.Fatalf("byte %d: %v", i, err)
+			}
+			if byte(got) != want {
+				t.Fatalf("byte %d: %#x != %#x", i, got, want)
+			}
+		}
+	})
+}

@@ -79,14 +79,15 @@ func UpsampleRowH2V1Fancy(in []byte, out []byte) {
 		out[0], out[1] = in[0], in[0]
 		return
 	}
+	// All operands are sums of bytes (non-negative), so /4 is >>2.
 	out[0] = in[0]
-	out[1] = byte((int(in[0])*3 + int(in[1]) + 2) / 4)
+	out[1] = byte((int(in[0])*3 + int(in[1]) + 2) >> 2)
 	for i := 1; i < n-1; i++ {
 		c := int(in[i]) * 3
-		out[2*i] = byte((c + int(in[i-1]) + 1) / 4)
-		out[2*i+1] = byte((c + int(in[i+1]) + 2) / 4)
+		out[2*i] = byte((c + int(in[i-1]) + 1) >> 2)
+		out[2*i+1] = byte((c + int(in[i+1]) + 2) >> 2)
 	}
-	out[2*n-2] = byte((int(in[n-1])*3 + int(in[n-2]) + 1) / 4)
+	out[2*n-2] = byte((int(in[n-1])*3 + int(in[n-2]) + 1) >> 2)
 	out[2*n-1] = in[n-1]
 }
 

@@ -78,6 +78,12 @@ type Options struct {
 	// tests). The returned Image is zeroed. Large experiment sweeps use
 	// it to evaluate schedules cheaply.
 	VirtualOnly bool
+	// CPUWorkers sets the intra-image worker pool for the CPU parallel
+	// phase of the sequential/SIMD modes (the paper's CPU-side band
+	// decomposition). 0 or 1 runs the fused single-threaded pipeline;
+	// output is byte-identical either way. It affects host wall-clock
+	// only — the virtual timeline models the single-core schedule.
+	CPUWorkers int
 }
 
 // Stats reports scheduling decisions.

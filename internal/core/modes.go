@@ -17,7 +17,7 @@ import (
 // whole-image CPU parallel phase.
 func (st *decodeState) runCPUOnly(simd bool) error {
 	if !st.opts.VirtualOnly {
-		jpegcodec.ParallelPhaseScalar(st.f, 0, st.f.MCURows, st.out)
+		jpegcodec.ParallelPhaseScalarWorkers(st.f, 0, st.f.MCURows, st.out, st.opts.CPUWorkers)
 	}
 
 	tl := sim.New()

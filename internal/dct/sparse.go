@@ -1,0 +1,209 @@
+package dct
+
+// Sparse inverse-transform fast paths for the CPU hot path. Entropy
+// decoding records, per block, the last nonzero zigzag index; the decoder
+// dispatches here so DC-only blocks (flat fields) and blocks whose
+// coefficients fit the top-left 4x4 corner (zigzag index <= 9) skip most
+// of the full transform. Every routine fuses dequantization and writes
+// clamped bytes straight into the destination plane (stride-separated
+// rows), eliminating the separate dequant pass and the [64]int32
+// out-buffer + byte-copy loop of the naive pipeline.
+//
+// All paths compute with exactly the arithmetic of InverseInt (same
+// fixed-point constants, same descale rounding, same evaluation of the
+// shared subexpressions with zeros substituted), so output is
+// byte-identical to the canonical transform — asserted by property tests
+// across random sparse blocks and enforced end-to-end by the cross-mode
+// decoder tests.
+
+// InverseIntDCBytes reconstructs a DC-only block: every sample is the
+// level-shifted, clamped DC term. dc is the dequantized DC coefficient.
+func InverseIntDCBytes(dc int32, dst []byte, stride int) {
+	// Column pass shortcut value dc<<pass1Bits, sent through the row pass
+	// with all other terms zero: descale((dc<<pass1Bits)<<constBits, final).
+	v := byte(clampSample(descale((dc<<pass1Bits)<<constBits, constBits+pass1Bits+3) + 128))
+	for y := 0; y < 8; y++ {
+		row := dst[y*stride : y*stride+8 : y*stride+8]
+		row[0], row[1], row[2], row[3] = v, v, v, v
+		row[4], row[5], row[6], row[7] = v, v, v, v
+	}
+}
+
+// InverseIntDequantBytes is the full dequantize + inverse transform,
+// writing clamped samples directly into dst rows of the given stride.
+// blk holds the quantized coefficients in natural order, q the
+// quantization table.
+func InverseIntDequantBytes(blk []int32, q *[BlockSize]int32, dst []byte, stride int) {
+	blk = blk[:64:64]
+	var ws [BlockSize]int32
+	var col [8]int32
+	for c := 0; c < 8; c++ {
+		// All-AC-zero shortcut on the quantized coefficients (quant
+		// factors never turn zero into nonzero).
+		if blk[c+8]|blk[c+16]|blk[c+24]|blk[c+32]|blk[c+40]|blk[c+48]|blk[c+56] == 0 {
+			dc := (blk[c] * q[c]) << pass1Bits
+			ws[c] = dc
+			ws[c+8] = dc
+			ws[c+16] = dc
+			ws[c+24] = dc
+			ws[c+32] = dc
+			ws[c+40] = dc
+			ws[c+48] = dc
+			ws[c+56] = dc
+			continue
+		}
+		for k := 0; k < 8; k++ {
+			col[k] = blk[c+8*k] * q[c+8*k]
+		}
+		InverseIntColumn(&col, ws[:], c)
+	}
+	for r := 0; r < 8; r++ {
+		InverseIntRowBytes(ws[:], r, dst[r*stride:r*stride+8:r*stride+8])
+	}
+}
+
+// InverseInt4x4DequantBytes transforms a block whose nonzero coefficients
+// all lie in the top-left 4x4 corner (true whenever the last nonzero
+// zigzag index is <= 9): the column pass runs over four short columns and
+// the row pass drops the four always-zero high-frequency terms.
+func InverseInt4x4DequantBytes(blk []int32, q *[BlockSize]int32, dst []byte, stride int) {
+	var ws [BlockSize]int32 // columns 4..7 stay zero
+	var col [8]int32        // rows 4..7 stay zero
+	for c := 0; c < 4; c++ {
+		c1 := blk[c+8] * q[c+8]
+		c2 := blk[c+16] * q[c+16]
+		c3 := blk[c+24] * q[c+24]
+		if c1|c2|c3 == 0 {
+			dc := (blk[c] * q[c]) << pass1Bits
+			ws[c] = dc
+			ws[c+8] = dc
+			ws[c+16] = dc
+			ws[c+24] = dc
+			ws[c+32] = dc
+			ws[c+40] = dc
+			ws[c+48] = dc
+			ws[c+56] = dc
+			continue
+		}
+		col[0] = blk[c] * q[c]
+		col[1] = c1
+		col[2] = c2
+		col[3] = c3
+		InverseIntColumn(&col, ws[:], c)
+	}
+	for r := 0; r < 8; r++ {
+		inverseIntRow4Bytes(ws[:], r, dst[r*stride:r*stride+8:r*stride+8])
+	}
+}
+
+// InverseIntRowBytes is the row pass of the inverse transform writing
+// level-shifted, clamped bytes (the plane's final samples) instead of
+// int32s — identical arithmetic to InverseIntRow.
+func InverseIntRowBytes(ws []int32, r int, out []byte) {
+	w := ws[r*8 : r*8+8 : r*8+8]
+
+	z2 := w[2]
+	z3 := w[6]
+	z1 := (z2 + z3) * fix0_541196100
+	tmp2 := z1 - z3*fix1_847759065
+	tmp3 := z1 + z2*fix0_765366865
+
+	tmp0 := (w[0] + w[4]) << constBits
+	tmp1 := (w[0] - w[4]) << constBits
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+
+	t0 := w[7]
+	t1 := w[5]
+	t2 := w[3]
+	t3 := w[1]
+	z1 = t0 + t3
+	z2 = t1 + t2
+	z3 = t0 + t2
+	z4 := t1 + t3
+	z5 := (z3 + z4) * fix1_175875602
+
+	t0 *= fix0_298631336
+	t1 *= fix2_053119869
+	t2 *= fix3_072711026
+	t3 *= fix1_501321110
+	z1 *= -fix0_899976223
+	z2 *= -fix2_562915447
+	z3 = z3*-fix1_961570560 + z5
+	z4 = z4*-fix0_390180644 + z5
+
+	t0 += z1 + z3
+	t1 += z2 + z4
+	t2 += z2 + z3
+	t3 += z1 + z4
+
+	const finalBits = constBits + pass1Bits + 3
+	out[0] = byte(clampSample(descale(tmp10+t3, finalBits) + 128))
+	out[7] = byte(clampSample(descale(tmp10-t3, finalBits) + 128))
+	out[1] = byte(clampSample(descale(tmp11+t2, finalBits) + 128))
+	out[6] = byte(clampSample(descale(tmp11-t2, finalBits) + 128))
+	out[2] = byte(clampSample(descale(tmp12+t1, finalBits) + 128))
+	out[5] = byte(clampSample(descale(tmp12-t1, finalBits) + 128))
+	out[3] = byte(clampSample(descale(tmp13+t0, finalBits) + 128))
+	out[4] = byte(clampSample(descale(tmp13-t0, finalBits) + 128))
+}
+
+// inverseIntRow4Bytes is InverseIntRowBytes with w[4..7] == 0 substituted
+// (the workspace columns a 4x4-sparse block never populates).
+func inverseIntRow4Bytes(ws []int32, r int, out []byte) {
+	w := ws[r*8 : r*8+4 : r*8+4]
+
+	// z3 = w[6] = 0.
+	z2 := w[2]
+	z1 := z2 * fix0_541196100
+	tmp2 := z1
+	tmp3 := z1 + z2*fix0_765366865
+
+	// w[4] = 0.
+	tmp0 := w[0] << constBits
+	tmp1 := tmp0
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+
+	// t0 = w[7] = 0, t1 = w[5] = 0.
+	t2 := w[3]
+	t3 := w[1]
+	z1 = t3
+	z2 = t2
+	z3 := t2
+	z4 := t3
+	z5 := (z3 + z4) * fix1_175875602
+
+	t2 *= fix3_072711026
+	t3 *= fix1_501321110
+	z1 *= -fix0_899976223
+	z2 *= -fix2_562915447
+	z3 = z3*-fix1_961570560 + z5
+	z4 = z4*-fix0_390180644 + z5
+
+	t0 := z1 + z3
+	t1 := z2 + z4
+	t2 += z2 + z3
+	t3 += z1 + z4
+
+	const finalBits = constBits + pass1Bits + 3
+	out[0] = byte(clampSample(descale(tmp10+t3, finalBits) + 128))
+	out[7] = byte(clampSample(descale(tmp10-t3, finalBits) + 128))
+	out[1] = byte(clampSample(descale(tmp11+t2, finalBits) + 128))
+	out[6] = byte(clampSample(descale(tmp11-t2, finalBits) + 128))
+	out[2] = byte(clampSample(descale(tmp12+t1, finalBits) + 128))
+	out[5] = byte(clampSample(descale(tmp12-t1, finalBits) + 128))
+	out[3] = byte(clampSample(descale(tmp13+t0, finalBits) + 128))
+	out[4] = byte(clampSample(descale(tmp13-t0, finalBits) + 128))
+}
+
+// SparseCutoff4x4 is the largest last-nonzero zigzag index for which the
+// 4x4 fast path applies: zigzag indices 0..9 all map inside the top-left
+// 4x4 corner, index 10 is the first outside it.
+const SparseCutoff4x4 = 9

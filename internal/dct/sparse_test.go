@@ -1,0 +1,167 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceBytes runs the canonical dequant + InverseInt + byte-store
+// pipeline the fast paths must match bit for bit.
+func referenceBytes(blk []int32, q *[BlockSize]int32, dst []byte, stride int) {
+	var in, out [BlockSize]int32
+	for i := 0; i < BlockSize; i++ {
+		in[i] = blk[i] * q[i]
+	}
+	InverseInt(&in, &out)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			dst[y*stride+x] = byte(out[y*8+x])
+		}
+	}
+}
+
+func randQuant(rng *rand.Rand) [BlockSize]int32 {
+	var q [BlockSize]int32
+	for i := range q {
+		q[i] = int32(1 + rng.Intn(255))
+	}
+	return q
+}
+
+// sparseBlock builds a block whose nonzero coefficients all sit at
+// zigzag indices <= maxK, with representative magnitudes.
+func sparseBlock(rng *rand.Rand, maxK int) [BlockSize]int32 {
+	zig := [...]int{0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5}
+	var b [BlockSize]int32
+	for k := 0; k <= maxK && k < len(zig); k++ {
+		if k > 0 && rng.Intn(3) == 0 {
+			continue // leave some zeros inside the sparse region
+		}
+		b[zig[k]] = int32(rng.Intn(255)) - 127
+	}
+	return b
+}
+
+func assertBlockEqual(t *testing.T, trial int, name string, got, want []byte, stride int) {
+	t.Helper()
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if got[y*stride+x] != want[y*stride+x] {
+				t.Fatalf("trial %d %s: sample (%d,%d) = %d, want %d",
+					trial, name, y, x, got[y*stride+x], want[y*stride+x])
+			}
+		}
+	}
+}
+
+func TestInverseIntDCBytesMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const stride = 24
+	want := make([]byte, 8*stride)
+	got := make([]byte, 8*stride)
+	for trial := 0; trial < 500; trial++ {
+		q := randQuant(rng)
+		var blk [BlockSize]int32
+		// Include extreme DCs that exercise clamping and int32 overflow
+		// behavior (which must match the dense path exactly).
+		switch trial % 4 {
+		case 0:
+			blk[0] = int32(rng.Intn(2048)) - 1024
+		case 1:
+			blk[0] = 2047
+		case 2:
+			blk[0] = -2048
+		default:
+			blk[0] = int32(rng.Intn(64)) - 32
+		}
+		referenceBytes(blk[:], &q, want, stride)
+		InverseIntDCBytes(blk[0]*q[0], got, stride)
+		assertBlockEqual(t, trial, "dc-only", got, want, stride)
+	}
+}
+
+func TestInverseInt4x4DequantBytesMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	const stride = 16
+	want := make([]byte, 8*stride)
+	got := make([]byte, 8*stride)
+	for trial := 0; trial < 1000; trial++ {
+		q := randQuant(rng)
+		blk := sparseBlock(rng, SparseCutoff4x4)
+		referenceBytes(blk[:], &q, want, stride)
+		InverseInt4x4DequantBytes(blk[:], &q, got, stride)
+		assertBlockEqual(t, trial, "4x4-sparse", got, want, stride)
+	}
+}
+
+func TestInverseIntDequantBytesMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	const stride = 8
+	want := make([]byte, 64)
+	got := make([]byte, 64)
+	for trial := 0; trial < 1000; trial++ {
+		q := randQuant(rng)
+		var blk [BlockSize]int32
+		for i := range blk {
+			if rng.Intn(2) == 0 {
+				blk[i] = int32(rng.Intn(511)) - 255
+			}
+		}
+		referenceBytes(blk[:], &q, want, stride)
+		InverseIntDequantBytes(blk[:], &q, got, stride)
+		assertBlockEqual(t, trial, "dense", got, want, stride)
+	}
+}
+
+func TestInverseIntRowBytesMatchesRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 500; trial++ {
+		var ws [BlockSize]int32
+		for i := range ws {
+			ws[i] = int32(rng.Intn(1<<20)) - 1<<19
+		}
+		for r := 0; r < 8; r++ {
+			var want [8]int32
+			InverseIntRow(ws[:], r, &want)
+			var got [8]byte
+			InverseIntRowBytes(ws[:], r, got[:])
+			for x := 0; x < 8; x++ {
+				if got[x] != byte(want[x]) {
+					t.Fatalf("trial %d row %d x %d: %d != %d", trial, r, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkInverseIntDequantBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := randQuant(rng)
+	var blk [BlockSize]int32
+	for i := range blk {
+		blk[i] = int32(rng.Intn(64)) - 32
+	}
+	dst := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InverseIntDequantBytes(blk[:], &q, dst, 8)
+	}
+}
+
+func BenchmarkInverseInt4x4DequantBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	q := randQuant(rng)
+	blk := sparseBlock(rng, SparseCutoff4x4)
+	dst := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InverseInt4x4DequantBytes(blk[:], &q, dst, 8)
+	}
+}
+
+func BenchmarkInverseIntDCBytes(b *testing.B) {
+	dst := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		InverseIntDCBytes(517, dst, 8)
+	}
+}

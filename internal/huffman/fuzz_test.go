@@ -1,0 +1,90 @@
+package huffman
+
+import (
+	"errors"
+	"testing"
+
+	"hetjpeg/internal/bitstream"
+)
+
+// FuzzDecodeArbitraryBits feeds arbitrary bytes to the LUT decoder with
+// both standard JPEG tables: every outcome must be a decoded symbol the
+// table actually contains or a clean error — never a panic or an
+// out-of-table symbol.
+func FuzzDecodeArbitraryBits(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0xD0, 0x12})
+	f.Add([]byte{0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		for _, spec := range []Spec{StdDCLuminance, StdACLuminance, StdDCChrominance, StdACChrominance} {
+			tab, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := map[byte]bool{}
+			for _, s := range spec.Values {
+				in[s] = true
+			}
+			r := bitstream.NewReader(data)
+			for i := 0; i < 10000; i++ {
+				sym, err := tab.Decode(r)
+				if err != nil {
+					if !errors.Is(err, bitstream.ErrUnexpectedEOF) {
+						var em bitstream.ErrMarker
+						if !errors.As(err, &em) && err.Error() == "" {
+							t.Fatalf("unclassified error: %v", err)
+						}
+					}
+					return
+				}
+				if !in[sym] {
+					t.Fatalf("decoded symbol %#02x not in table", sym)
+				}
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip encodes the input bytes as symbols of an
+// optimal table built from their frequencies, then decodes them back.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte{0, 0, 0, 1, 2, 3, 0xFF, 0xFE})
+	f.Add([]byte{42})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 || len(payload) > 8192 {
+			return
+		}
+		var freq [256]int64
+		for _, b := range payload {
+			freq[b]++
+		}
+		spec, err := BuildFromFrequencies(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := bitstream.NewWriter()
+		for _, b := range payload {
+			if err := tab.Encode(w, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := bitstream.NewReader(w.Flush())
+		for i, want := range payload {
+			got, err := tab.Decode(r)
+			if err != nil {
+				t.Fatalf("symbol %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("symbol %d: %#02x != %#02x", i, got, want)
+			}
+		}
+	})
+}

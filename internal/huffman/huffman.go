@@ -159,15 +159,16 @@ func (t *Table) Encode(w *bitstream.Writer, sym byte) error {
 
 // Decode reads one symbol from r.
 func (t *Table) Decode(r *bitstream.Reader) (byte, error) {
-	// Fast path: peek lookupBits and use the flat table.
-	if v, err := r.Peek(lookupBits); err == nil {
-		e := t.lookup[v]
+	// Fast path: refill once to >= 32 bits (one code plus its appended
+	// magnitude bits), then decode with an unchecked peek against the
+	// flat table. Near the end of input fewer bits may remain buffered;
+	// any still-decodable short code falls through to the slow path.
+	if r.Fill32() || r.Bits() >= lookupBits {
+		e := t.lookup[r.MustPeek(lookupBits)]
 		if e != 0 {
 			r.Consume(uint(e >> 8))
 			return byte(e), nil
 		}
-	} else if !errors.Is(err, bitstream.ErrUnexpectedEOF) {
-		return 0, err
 	}
 	// Slow path: canonical walk, one bit at a time.
 	code := int32(0)

@@ -2,6 +2,7 @@ package jpegcodec
 
 import (
 	"fmt"
+	"sync"
 
 	"hetjpeg/internal/color"
 	"hetjpeg/internal/dct"
@@ -12,6 +13,14 @@ import (
 // reference implementation of dequantization + IDCT, upsampling and color
 // conversion. Every other execution path (SIMD analog, simulated GPU
 // kernels) must produce byte-identical output.
+//
+// The hot path is a fused MCU-row-band pipeline: each band is
+// dequantized + inverse-transformed and then immediately upsampled and
+// color-converted while its samples are still in L1/L2, instead of the
+// textbook three whole-plane passes. The IDCT dispatches per-block on
+// the sparsity summary entropy decoding recorded (Frame.NZ): DC-only
+// and 4x4-sparse blocks skip most of the transform, and all kernels
+// write clamped bytes straight into the plane.
 
 // IDCTRange dequantizes and inverse-transforms every block of component c
 // within MCU rows [m0, m1), writing reconstructed samples into
@@ -26,40 +35,71 @@ func IDCTRange(f *Frame, c, m0, m1 int) {
 // vertical filter needs above a CPU partition.
 func IDCTBlockRows(f *Frame, c, b0, b1 int) {
 	p := f.Planes[c]
-	quant := f.Img.Quant[f.Img.Components[c].QuantSel]
+	q := f.QuantInt(c)
 	pw := p.PlaneW()
-	var in, out [64]int32
+	plane := f.Samples[c]
+	coeff := f.Coeff[c]
+	nz := f.NZ[c] // nil when the frame skipped entropy bookkeeping
 	for by := b0; by < b1; by++ {
+		rowBase := by * 8 * pw
+		blkBase := by * p.BlocksPerRow
 		for bx := 0; bx < p.BlocksPerRow; bx++ {
-			blk := f.Block(c, bx, by)
-			for i := 0; i < 64; i++ {
-				in[i] = blk[i] * int32(quant[i])
+			blk := coeff[(blkBase+bx)*64 : (blkBase+bx)*64+64 : (blkBase+bx)*64+64]
+			dst := plane[rowBase+bx*8:]
+			var n uint8
+			if nz != nil {
+				n = nz[blkBase+bx]
 			}
-			dct.InverseInt(&in, &out)
-			base := by*8*pw + bx*8
-			plane := f.Samples[c]
-			for y := 0; y < 8; y++ {
-				row := plane[base+y*pw : base+y*pw+8 : base+y*pw+8]
-				for x := 0; x < 8; x++ {
-					row[x] = byte(out[y*8+x])
-				}
+			switch {
+			case n == 1:
+				dct.InverseIntDCBytes(blk[0]*q[0], dst, pw)
+			case n != 0 && n <= dct.SparseCutoff4x4+1:
+				dct.InverseInt4x4DequantBytes(blk, q, dst, pw)
+			default:
+				dct.InverseIntDequantBytes(blk, q, dst, pw)
 			}
 		}
 	}
+}
+
+// convertScratch holds the per-goroutine upsampling rows the chroma
+// filters write, so band-sized conversion calls allocate nothing.
+type convertScratch struct {
+	cbUp, crUp []byte
+	blend      []int
+}
+
+func newConvertScratch(f *Frame) *convertScratch {
+	if len(f.Planes) < 3 || f.Sub == jfif.Sub444 {
+		return &convertScratch{}
+	}
+	cpw := f.Planes[1].PlaneW()
+	cs := &convertScratch{
+		cbUp: make([]byte, 2*cpw),
+		crUp: make([]byte, 2*cpw),
+	}
+	if f.Sub == jfif.Sub420 {
+		cs.blend = make([]int, cpw) // vertical-blend row, 4:2:0 only
+	}
+	return cs
 }
 
 // ColorConvertRange upsamples (if needed) and color-converts luma pixel
 // rows [r0, r1) into the interleaved RGB output buffer. Sample planes for
 // the covered region must already be reconstructed.
 func ColorConvertRange(f *Frame, r0, r1 int, out *RGBImage) {
+	colorConvertRange(f, r0, r1, out, newConvertScratch(f))
+}
+
+func colorConvertRange(f *Frame, r0, r1 int, out *RGBImage, cs *convertScratch) {
 	w := f.Img.Width
 	switch f.Sub {
 	case jfif.SubGray:
 		yPlane := f.Samples[0]
 		pw := f.Planes[0].PlaneW()
 		for y := r0; y < r1; y++ {
-			row := yPlane[y*pw:]
-			dst := out.Pix[y*w*3:]
+			row := yPlane[y*pw : y*pw+w : y*pw+w]
+			dst := out.Pix[y*w*3 : y*w*3+w*3 : y*w*3+w*3]
 			for x := 0; x < w; x++ {
 				v := row[x]
 				dst[x*3], dst[x*3+1], dst[x*3+2] = v, v, v
@@ -69,47 +109,26 @@ func ColorConvertRange(f *Frame, r0, r1 int, out *RGBImage) {
 		pw := f.Planes[0].PlaneW()
 		yP, cbP, crP := f.Samples[0], f.Samples[1], f.Samples[2]
 		for y := r0; y < r1; y++ {
-			yr := yP[y*pw:]
-			cbr := cbP[y*pw:]
-			crr := crP[y*pw:]
-			dst := out.Pix[y*w*3:]
-			for x := 0; x < w; x++ {
-				r, g, b := color.YCbCrToRGB(int32(yr[x]), int32(cbr[x]), int32(crr[x]))
-				dst[x*3], dst[x*3+1], dst[x*3+2] = r, g, b
-			}
+			color.ConvertRow(yP[y*pw:], cbP[y*pw:], crP[y*pw:], out.Pix[y*w*3:], w)
 		}
 	case jfif.Sub422:
 		ypw := f.Planes[0].PlaneW()
 		cpw := f.Planes[1].PlaneW()
 		yP, cbP, crP := f.Samples[0], f.Samples[1], f.Samples[2]
-		cbUp := make([]byte, 2*cpw)
-		crUp := make([]byte, 2*cpw)
 		for y := r0; y < r1; y++ {
-			color.UpsampleRowH2V1Fancy(cbP[y*cpw:y*cpw+cpw], cbUp)
-			color.UpsampleRowH2V1Fancy(crP[y*cpw:y*cpw+cpw], crUp)
-			yr := yP[y*ypw:]
-			dst := out.Pix[y*w*3:]
-			for x := 0; x < w; x++ {
-				r, g, b := color.YCbCrToRGB(int32(yr[x]), int32(cbUp[x]), int32(crUp[x]))
-				dst[x*3], dst[x*3+1], dst[x*3+2] = r, g, b
-			}
+			color.UpsampleRowH2V1Fancy(cbP[y*cpw:y*cpw+cpw], cs.cbUp)
+			color.UpsampleRowH2V1Fancy(crP[y*cpw:y*cpw+cpw], cs.crUp)
+			color.ConvertRow(yP[y*ypw:], cs.cbUp, cs.crUp, out.Pix[y*w*3:], w)
 		}
 	case jfif.Sub420:
 		ypw := f.Planes[0].PlaneW()
 		cpw := f.Planes[1].PlaneW()
 		yP, cbP, crP := f.Samples[0], f.Samples[1], f.Samples[2]
-		cbUp := make([]byte, 2*cpw)
-		crUp := make([]byte, 2*cpw)
 		ch := f.Planes[1].PlaneH()
 		for y := r0; y < r1; y++ {
-			upsample420Row(cbP, cpw, ch, y, cbUp)
-			upsample420Row(crP, cpw, ch, y, crUp)
-			yr := yP[y*ypw:]
-			dst := out.Pix[y*w*3:]
-			for x := 0; x < w; x++ {
-				r, g, b := color.YCbCrToRGB(int32(yr[x]), int32(cbUp[x]), int32(crUp[x]))
-				dst[x*3], dst[x*3+1], dst[x*3+2] = r, g, b
-			}
+			upsample420Row(cbP, cpw, ch, y, cs.cbUp, cs.blend)
+			upsample420Row(crP, cpw, ch, y, cs.crUp, cs.blend)
+			color.ConvertRow(yP[y*ypw:], cs.cbUp, cs.crUp, out.Pix[y*w*3:], w)
 		}
 	}
 }
@@ -117,8 +136,9 @@ func ColorConvertRange(f *Frame, r0, r1 int, out *RGBImage) {
 // upsample420Row produces one full-resolution chroma row (output luma row
 // index y) from an h2v2 plane using the fancy triangle filter: a 3:1
 // vertical blend of the two nearest chroma rows followed by the
-// horizontal Algorithm 1 filter.
-func upsample420Row(plane []byte, cpw, ch, y int, out []byte) {
+// horizontal Algorithm 1 filter. blend is caller-provided scratch of
+// length >= cpw.
+func upsample420Row(plane []byte, cpw, ch, y int, out []byte, blend []int) {
 	near := y / 2
 	var far int
 	if y%2 == 0 {
@@ -136,7 +156,7 @@ func upsample420Row(plane []byte, cpw, ch, y int, out []byte) {
 	rf := plane[far*cpw : far*cpw+cpw]
 	// Vertical 3:1 blend into 10-bit intermediate, then the horizontal
 	// triangle filter on the blended row (libjpeg h2v2 fancy upsampling).
-	blend := make([]int, cpw)
+	blend = blend[:cpw]
 	for i := range blend {
 		blend[i] = 3*int(rn[i]) + int(rf[i])
 	}
@@ -156,14 +176,131 @@ func upsample420Row(plane []byte, cpw, ch, y int, out []byte) {
 	out[2*n-1] = byte((4*blend[n-1] + 8) >> 4)
 }
 
-// ParallelPhaseScalar runs the full scalar parallel phase (dequant+IDCT,
-// upsample, color conversion) for MCU rows [m0, m1).
-func ParallelPhaseScalar(f *Frame, m0, m1 int, out *RGBImage) {
-	for c := range f.Planes {
-		IDCTRange(f, c, m0, m1)
+// bandBound returns the exclusive pixel row up to which color conversion
+// is safe once MCU rows [.., m) are reconstructed. For 4:2:0 the last
+// pixel row of band m-1 reads the first chroma row of band m through the
+// vertical triangle filter, so interior bounds shift up one row (the
+// same deferral rule the GPU chunk scheduler applies, gpuRowBound).
+func bandBound(f *Frame, m int) int {
+	y := m * f.MCUHeight
+	if f.Sub == jfif.Sub420 && m < f.MCURows {
+		y--
 	}
+	if y > f.Img.Height {
+		y = f.Img.Height
+	}
+	return y
+}
+
+// ParallelPhaseScalar runs the full scalar parallel phase (dequant+IDCT,
+// upsample, color conversion) for MCU rows [m0, m1) as a fused band
+// pipeline: each MCU row band is transformed and then immediately
+// upsampled and color-converted while hot in cache.
+func ParallelPhaseScalar(f *Frame, m0, m1 int, out *RGBImage) {
+	parallelPhaseBands(f, m0, m1, out, newConvertScratch(f))
+}
+
+// parallelPhaseBands is the fused pipeline over MCU rows [m0, m1),
+// converting pixel rows [PixelRows(m0), yEnd-deferred bounds .. r1).
+func parallelPhaseBands(f *Frame, m0, m1 int, out *RGBImage, cs *convertScratch) {
 	r0, r1 := f.PixelRows(m0, m1)
-	ColorConvertRange(f, r0, r1, out)
+	y := r0
+	for m := m0; m < m1; m++ {
+		for c := range f.Planes {
+			IDCTRange(f, c, m, m+1)
+		}
+		yEnd := r1
+		if m+1 < m1 {
+			yEnd = bandBound(f, m+1)
+		}
+		colorConvertRange(f, y, yEnd, out, cs)
+		y = yEnd
+	}
+}
+
+// ParallelPhaseScalarWorkers runs the fused parallel phase with an
+// intra-image worker pool over contiguous MCU-row chunks — the paper's
+// own CPU parallel-phase decomposition. Output is byte-identical to the
+// sequential pipeline: for 4:2:0, the two pixel rows at each chunk seam
+// (whose vertical chroma filter reads both chunks) are deferred until
+// every chunk's reconstruction finished. workers <= 1 runs sequentially.
+func ParallelPhaseScalarWorkers(f *Frame, m0, m1 int, out *RGBImage, workers int) {
+	rows := m1 - m0
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		ParallelPhaseScalar(f, m0, m1, out)
+		return
+	}
+	is420 := f.Sub == jfif.Sub420
+	_, r1 := f.PixelRows(m0, m1)
+
+	// Contiguous chunk per worker.
+	starts := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		starts[i] = m0 + rows*i/workers
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		a, b := starts[i], starts[i+1]
+		wg.Add(1)
+		go func(i, a, b int) {
+			defer wg.Done()
+			cs := newConvertScratch(f)
+			lo, _ := f.PixelRows(a, b)
+			if is420 && i > 0 {
+				// Rows 16a-1 (owned here by bound shift) and 16a read
+				// the previous chunk's chroma: both become seam rows.
+				lo = a*f.MCUHeight + 1
+			}
+			hi := r1
+			if i < workers-1 {
+				hi = bandBound(f, b)
+			}
+			// Fused band loop, restricted to this chunk's safe rows.
+			y := lo
+			for m := a; m < b; m++ {
+				for c := range f.Planes {
+					IDCTRange(f, c, m, m+1)
+				}
+				yEnd := hi
+				if m+1 < b {
+					if e := bandBound(f, m+1); e < yEnd {
+						yEnd = e
+					}
+				}
+				if yEnd < y {
+					yEnd = y
+				}
+				colorConvertRange(f, y, yEnd, out, cs)
+				y = yEnd
+			}
+		}(i, a, b)
+	}
+	wg.Wait()
+
+	if is420 {
+		// Seam rows: for each interior chunk boundary a, pixel rows
+		// 16a-1 and 16a need chroma from both sides; all planes are
+		// reconstructed now.
+		cs := newConvertScratch(f)
+		for i := 1; i < workers; i++ {
+			a := starts[i]
+			lo := a*f.MCUHeight - 1
+			hi := a*f.MCUHeight + 1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > r1 {
+				hi = r1
+			}
+			if lo < hi {
+				colorConvertRange(f, lo, hi, out, cs)
+			}
+		}
+	}
 }
 
 // DecodeScalar is the sequential reference decoder (the libjpeg analog):

@@ -122,8 +122,13 @@ func (d *EntropyDecoder) decodeMCURow(m int) error {
 					} else {
 						blk = f.Block(ci, mx*comp.H+h, m*comp.V+v)
 					}
-					if err := d.decodeBlock(blk, ci, dcTab, acTab); err != nil {
+					maxK, err := d.decodeBlock(blk, ci, dcTab, acTab)
+					if err != nil {
 						return err
+					}
+					if !d.discard && f.NZ[ci] != nil {
+						bi := (m*comp.V+v)*f.Planes[ci].BlocksPerRow + mx*comp.H + h
+						f.NZ[ci][bi] = uint8(maxK + 1)
 					}
 				}
 			}
@@ -134,21 +139,23 @@ func (d *EntropyDecoder) decodeMCURow(m int) error {
 }
 
 // decodeBlock reads one 8x8 block: DC difference then AC run-lengths,
-// writing coefficients in natural order (de-zigzagged).
-func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffman.Table) error {
+// writing coefficients in natural order (de-zigzagged). It returns the
+// zigzag index of the last coefficient it wrote (0 for a DC-only block),
+// the sparsity summary the IDCT dispatcher keys on.
+func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffman.Table) (int, error) {
 	// DC coefficient.
 	t, err := dcTab.Decode(d.r)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if t > 15 {
-		return fmt.Errorf("bad DC category %d", t)
+		return 0, fmt.Errorf("bad DC category %d", t)
 	}
 	diff := int32(0)
 	if t > 0 {
 		bits, err := d.r.ReadBits(uint(t))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		diff = extend(bits, uint(t))
 	}
@@ -156,10 +163,11 @@ func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffma
 	blk[0] = d.dc[comp]
 
 	// AC coefficients.
+	maxK := 0
 	for k := 1; k < 64; {
 		rs, err := acTab.Decode(d.r)
 		if err != nil {
-			return err
+			return maxK, err
 		}
 		r := int(rs >> 4)
 		s := uint(rs & 0xF)
@@ -172,16 +180,17 @@ func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffma
 		}
 		k += r
 		if k > 63 {
-			return fmt.Errorf("AC run overflows block (k=%d)", k)
+			return maxK, fmt.Errorf("AC run overflows block (k=%d)", k)
 		}
 		bits, err := d.r.ReadBits(s)
 		if err != nil {
-			return err
+			return maxK, err
 		}
 		blk[jfif.ZigZag[k]] = extend(bits, s)
+		maxK = k
 		k++
 	}
-	return nil
+	return maxK, nil
 }
 
 // extend implements the EXTEND procedure of T.81 F.2.2.1: map a magnitude

@@ -156,8 +156,14 @@ func decodeSegment(f *Frame, seg restartSegment, rowBits []int64) error {
 			for v := 0; v < comp.V; v++ {
 				for h := 0; h < comp.H; h++ {
 					blk := f.Block(ci, mx*comp.H+h, my*comp.V+v)
-					if err := d.decodeBlock(blk, ci, tabs[ci].dc, tabs[ci].ac); err != nil {
+					maxK, err := d.decodeBlock(blk, ci, tabs[ci].dc, tabs[ci].ac)
+					if err != nil {
 						return fmt.Errorf("jpegcodec: segment MCU %d: %w", mcu, err)
+					}
+					if f.NZ[ci] != nil {
+						// Disjoint block indices per segment: no races.
+						bi := (my*comp.V+v)*f.Planes[ci].BlocksPerRow + mx*comp.H + h
+						f.NZ[ci][bi] = uint8(maxK + 1)
 					}
 				}
 			}

@@ -9,6 +9,7 @@ package jpegcodec
 import (
 	"fmt"
 
+	"hetjpeg/internal/dct"
 	"hetjpeg/internal/jfif"
 	"hetjpeg/internal/pool"
 )
@@ -71,6 +72,17 @@ type Frame struct {
 	// Samples holds the reconstructed (post-IDCT) planes, padded
 	// geometry, one byte per sample.
 	Samples [][]byte
+
+	// NZ records per-block sparsity per component, blocks in raster
+	// order: 0 means unknown (the IDCT falls back to the dense kernel),
+	// v > 0 means the last nonzero coefficient of the block sits at
+	// zigzag index v-1. Entropy decoding fills it for free; the IDCT
+	// dispatches DC-only and 4x4-sparse fast paths on it.
+	NZ [][]uint8
+
+	// quantInt caches the per-component quantization tables widened to
+	// int32, the form every IDCT kernel consumes.
+	quantInt [][dct.BlockSize]int32
 }
 
 // NewFrameGeometry builds only the geometric view of a parsed image,
@@ -102,6 +114,8 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 	f.Planes = make([]PlaneInfo, len(im.Components))
 	f.Coeff = make([][]int32, len(im.Components))
 	f.Samples = make([][]byte, len(im.Components))
+	f.NZ = make([][]uint8, len(im.Components))
+	f.quantInt = make([][dct.BlockSize]int32, len(im.Components))
 	hMax, vMax := 1, 1
 	for _, c := range im.Components {
 		if c.H > hMax {
@@ -121,13 +135,22 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 			V:            c.V,
 		}
 		f.Planes[i] = p
+		if q := im.Quant[c.QuantSel]; q != nil {
+			for k, v := range q {
+				f.quantInt[i][k] = int32(v)
+			}
+		}
 		if alloc {
 			f.Coeff[i] = getCoeffSlab(p.Blocks() * 64)
 			f.Samples[i] = getByteSlab(p.PlaneW() * p.PlaneH())
+			f.NZ[i] = getByteSlab(p.Blocks())
 		}
 	}
 	return f, nil
 }
+
+// QuantInt returns component c's quantization table widened to int32.
+func (f *Frame) QuantInt(c int) *[dct.BlockSize]int32 { return &f.quantInt[c] }
 
 // Block returns the 64-coefficient slice of block (bx, by) of component c.
 func (f *Frame) Block(c, bx, by int) []int32 {
@@ -209,6 +232,12 @@ func (f *Frame) Release() {
 		if f.Samples[i] != nil {
 			putByteSlab(f.Samples[i])
 			f.Samples[i] = nil
+		}
+	}
+	for i := range f.NZ {
+		if f.NZ[i] != nil {
+			putByteSlab(f.NZ[i])
+			f.NZ[i] = nil
 		}
 	}
 }

@@ -227,15 +227,12 @@ func (e *Engine) runIDCT(m0, m1 int) CostRecord {
 		p := f.Planes[r.comp]
 		row := item % 8
 		local := g.Local[(item/8)*64 : (item/8)*64+64]
-		var out [8]int32
-		dct.InverseIntRow(local, row, &out)
 		pw := p.PlaneW()
 		base := (r.by*8+row)*pw + r.bx*8
-		dst := e.samples[r.comp].Data[base : base+8 : base+8]
-		// Vectorized store: 8 samples as two 4-byte vectors (Section 4.1).
-		for x := 0; x < 8; x++ {
-			dst[x] = byte(out[x])
-		}
+		// Row pass stores clamped bytes straight into the sample buffer
+		// (the Section 4.1 vectorized store), same arithmetic as the CPU
+		// fast path so every mode stays byte-identical.
+		dct.InverseIntRowBytes(local, row, e.samples[r.comp].Data[base:base+8:base+8])
 	}
 
 	k := &gpusim.Kernel{
