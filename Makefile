@@ -7,7 +7,12 @@ BENCH_TIME ?= 1s
 # The single-image decode hot path tracked across PRs.
 BENCH_PATTERN ?= BenchmarkDecodeScalar$$|BenchmarkDecodeScalarSub|BenchmarkDecodeScalarSize|BenchmarkParallelPhaseScalar|BenchmarkEntropySequential$$|BenchmarkEntropyParallelRestart$$
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke fmt vet
+# The batch wall-clock trajectory: the mixed-size corpus through both
+# schedulers (per-image pool vs pipelined band scheduler).
+BENCH_BATCH_OUT ?= BENCH_3.json
+BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
+
+.PHONY: all build test race bench bench-batch bench-smoke fuzz-smoke fmt vet
 
 all: build
 
@@ -29,6 +34,15 @@ bench:
 		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench.txt
 	go run ./cmd/benchjson < bench.txt > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# bench-batch records the batch scheduler's wall-clock trajectory:
+# before/after of the per-image pool vs the band scheduler on the
+# mixed-size corpus, parsed into $(BENCH_BATCH_OUT).
+bench-batch:
+	go test . -run='^$$' -bench='$(BENCH_BATCH_PATTERN)' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench_batch.txt
+	go run ./cmd/benchjson < bench_batch.txt > $(BENCH_BATCH_OUT)
+	@echo "wrote $(BENCH_BATCH_OUT)"
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once
 # (CI uses it so benchmarks can never silently rot).

@@ -490,7 +490,7 @@ func benchBatchWallClock(b *testing.B, workers int) {
 		stream = append(stream, items[0].Data)
 	}
 	spec := platform.GTX560()
-	opts := hetjpeg.BatchOptions{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true, Workers: workers}
+	opts := hetjpeg.BatchOptions{Spec: spec, Mode: core.ModePipelinedGPU, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := hetjpeg.DecodeBatch(stream, opts)
@@ -510,6 +510,85 @@ func benchBatchWallClock(b *testing.B, workers int) {
 
 func BenchmarkBatchWallClock_Workers1(b *testing.B) { benchBatchWallClock(b, 1) }
 func BenchmarkBatchWallClock_WorkersN(b *testing.B) { benchBatchWallClock(b, runtime.GOMAXPROCS(0)) }
+
+// Mixed-size wall-clock batch: the workload the band scheduler exists
+// for. The corpus spans 0.3–4.9 MP across all three subsamplings with
+// one 5 MP straggler; under the per-image pool that straggler pins one
+// worker while the rest drain, and every concurrent decode spins up its
+// own device workers. The band scheduler overlaps entropy streams and
+// shreds every image's back phase into work-stolen MCU bands. Pixels
+// are byte-identical across schedulers (TestSchedulerIdentity...); the
+// tracked number is wall-clock throughput, recorded in BENCH_3.json by
+// `make bench-batch`.
+var (
+	mixedBatchOnce sync.Once
+	mixedBatchData [][]byte
+	mixedBatchPix  float64 // total decoded megapixels per batch
+	mixedBatchErr  error
+)
+
+func mixedBatchCorpus(b *testing.B) [][]byte {
+	mixedBatchOnce.Do(func() {
+		shapes := []struct {
+			w, h   int
+			sub    jfif.Subsampling
+			detail float64
+		}{
+			{640, 480, jfif.Sub420, 0.3},
+			{800, 600, jfif.Sub422, 0.55},
+			{1024, 768, jfif.Sub444, 0.4},
+			{640, 480, jfif.Sub422, 0.8},
+			{1280, 960, jfif.Sub420, 0.5},
+			{2560, 1920, jfif.Sub420, 0.6}, // the straggler
+			{800, 600, jfif.Sub444, 0.7},
+			{1600, 1200, jfif.Sub422, 0.45},
+		}
+		for i, s := range shapes {
+			items, err := imagegen.SizeSweep(s.sub, s.detail, [][2]int{{s.w, s.h}}, int64(8800+i))
+			if err != nil {
+				mixedBatchErr = err
+				return
+			}
+			mixedBatchData = append(mixedBatchData, items[0].Data)
+			mixedBatchPix += float64(s.w*s.h) / 1e6
+		}
+	})
+	if mixedBatchErr != nil {
+		b.Fatal(mixedBatchErr)
+	}
+	return mixedBatchData
+}
+
+func benchBatchMixed(b *testing.B, sched hetjpeg.BatchScheduler) {
+	stream := mixedBatchCorpus(b)
+	opts := hetjpeg.BatchOptions{
+		Spec:      platform.GTX560(),
+		Scheduler: sched,
+		Workers:   runtime.GOMAXPROCS(0),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hetjpeg.DecodeBatch(stream, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("%d images failed", res.Failed)
+		}
+		for _, ir := range res.Images {
+			ir.Res.Release()
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(len(stream)*b.N)/secs, "imgs/s")
+	b.ReportMetric(mixedBatchPix*float64(b.N)/secs, "MPpx/s")
+}
+
+func BenchmarkBatchMixedSizes(b *testing.B) {
+	b.Run("perimage", func(b *testing.B) { benchBatchMixed(b, hetjpeg.SchedulerPerImage) })
+	b.Run("bands", func(b *testing.B) { benchBatchMixed(b, hetjpeg.SchedulerBands) })
+}
 
 // Steady-state allocation: the slab pools should keep per-decode
 // allocations flat when results are released back.

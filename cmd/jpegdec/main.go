@@ -28,7 +28,8 @@ func main() {
 
 	in := flag.String("in", "", "input JPEG file (or pass files as arguments)")
 	out := flag.String("out", "", "output PNG file (optional, single input only)")
-	modeName := flag.String("mode", "pps", "sequential|simd|gpu|pipeline|sps|pps")
+	modeName := flag.String("mode", "pps", "auto|sequential|simd|gpu|pipeline|sps|pps")
+	schedName := flag.String("scheduler", "bands", "batch wall-clock engine: bands|perimage")
 	platformName := flag.String("platform", "GTX 560", `"GT 430", "GTX 560" or "GTX 680"`)
 	modelPath := flag.String("model", "", "performance model JSON (default: train in-process)")
 	chunk := flag.Int("chunk", 0, "override pipelining chunk size in MCU rows")
@@ -50,15 +51,13 @@ func main() {
 	if spec == nil {
 		log.Fatalf("unknown platform %q", *platformName)
 	}
-	var mode core.Mode
-	found := false
-	for _, m := range hetjpeg.AllModes() {
-		if m.String() == *modeName {
-			mode, found = m, true
-		}
-	}
-	if !found {
+	mode, ok := hetjpeg.ParseMode(*modeName)
+	if !ok {
 		log.Fatalf("unknown mode %q", *modeName)
+	}
+	sched, ok := hetjpeg.ParseScheduler(*schedName)
+	if !ok {
+		log.Fatalf("unknown scheduler %q", *schedName)
 	}
 
 	var model *hetjpeg.Model
@@ -74,9 +73,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Resolve the auto sentinel so every report names the mode that
+	// actually ran.
+	mode = mode.Resolve(model)
 
 	if len(files) > 1 {
-		decodeBatch(files, spec, model, mode, *workers)
+		decodeBatch(files, spec, model, mode, sched, *workers)
 		return
 	}
 
@@ -130,7 +132,7 @@ func main() {
 // decodeBatch decodes several files as one concurrent batch. A file
 // that fails to read or decode is reported in its slot; the others
 // still decode.
-func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, mode core.Mode, workers int) {
+func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, mode core.Mode, sched hetjpeg.BatchScheduler, workers int) {
 	datas := make([][]byte, len(files))
 	readErr := make([]error, len(files))
 	for i, name := range files {
@@ -138,7 +140,7 @@ func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, m
 	}
 	start := time.Now()
 	res, err := hetjpeg.DecodeBatch(datas, hetjpeg.BatchOptions{
-		Spec: spec, Model: model, Mode: mode, ModeSet: true, Workers: workers,
+		Spec: spec, Model: model, Mode: mode, Scheduler: sched, Workers: workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,10 +3,12 @@
 // (Figure 5b); a gallery or browser decodes many images back to back, so
 // the same overlap can continue across image boundaries: while the
 // device finishes image k's kernels, the CPU already entropy-decodes
-// image k+1. On the host, the images are independent, so the batch
-// executor also decodes them on parallel workers — this example measures
-// both gains: the virtual cross-image overlap and the wall-clock
-// speedup of the worker pool over a serial loop.
+// image k+1. On the host the same idea runs in real time: the band
+// scheduler entropy-decodes several images in flight while a shared
+// work-stealing pool executes MCU-band back-phase tasks from all of
+// them. This example measures the virtual cross-image overlap and the
+// wall-clock shape of three engines: a serial loop, the whole-image
+// worker pool, and the pipelined band scheduler.
 package main
 
 import (
@@ -46,9 +48,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Serial wall-clock reference: one worker.
+	// Serial wall-clock reference: one whole-image worker.
 	t0 := time.Now()
-	serial, err := hetjpeg.DecodeBatch(stream, hetjpeg.BatchOptions{Spec: spec, Model: model, Workers: 1})
+	serial, err := hetjpeg.DecodeBatch(stream, hetjpeg.BatchOptions{
+		Spec: spec, Model: model, Workers: 1, Scheduler: hetjpeg.SchedulerPerImage,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,8 +63,23 @@ func main() {
 		}
 	}
 
-	// The same stream through the streaming interface of the concurrent
-	// executor, as a long-running service would consume it.
+	// The whole-image worker pool at full width.
+	t0 = time.Now()
+	pool, err := hetjpeg.DecodeBatch(stream, hetjpeg.BatchOptions{
+		Spec: spec, Model: model, Workers: *workers, Scheduler: hetjpeg.SchedulerPerImage,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	poolWall := time.Since(t0)
+	for _, ir := range pool.Images {
+		if ir.Err == nil {
+			ir.Res.Release()
+		}
+	}
+
+	// The pipelined band scheduler through the streaming interface, as a
+	// long-running service would consume it.
 	ex, err := hetjpeg.NewBatchExecutor(hetjpeg.BatchOptions{Spec: spec, Model: model, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +97,7 @@ func main() {
 	for ir := range ex.Results() {
 		images[ir.Index] = ir
 	}
-	poolWall := time.Since(t0)
+	bandWall := time.Since(t0)
 
 	fmt.Printf("decoded %d images on %s (per-image PPS)\n\n", len(images), spec)
 	for _, ir := range images {
@@ -98,7 +117,9 @@ func main() {
 	fmt.Printf("  batch pipelining gain: %.3fx\n", serial.Gain())
 
 	fmt.Printf("\nwall clock (this host):\n")
-	fmt.Printf("  1 worker:  %8.2f ms\n", float64(serialWall.Microseconds())/1000)
-	fmt.Printf("  %d workers: %8.2f ms\n", *workers, float64(poolWall.Microseconds())/1000)
-	fmt.Printf("  pool speedup: %.2fx\n", float64(serialWall)/float64(poolWall))
+	fmt.Printf("  serial (1 worker):          %8.2f ms\n", float64(serialWall.Microseconds())/1000)
+	fmt.Printf("  per-image pool (%d workers): %8.2f ms  (%.2fx)\n",
+		*workers, float64(poolWall.Microseconds())/1000, float64(serialWall)/float64(poolWall))
+	fmt.Printf("  band scheduler (%d workers): %8.2f ms  (%.2fx)\n",
+		*workers, float64(bandWall.Microseconds())/1000, float64(serialWall)/float64(bandWall))
 }

@@ -3,8 +3,10 @@
 // heterogeneous decoder and reports its scheduling decisions. POST a
 // JPEG to /decode to get the decoded dimensions, the CPU/GPU split and
 // the virtual schedule; POST a multipart form of JPEGs to /batch to
-// decode them concurrently on the worker pool and get the cross-image
-// pipelining gain; GET /platforms lists the simulated machines.
+// decode them concurrently (the pipelined band scheduler by default;
+// ?scheduler=perimage selects the whole-image pool) and get the
+// cross-image pipelining gain; GET /platforms lists the simulated
+// machines.
 //
 //	go run ./examples/webserver -addr :8080 &
 //	curl -s --data-binary @photo.jpg localhost:8080/decode?mode=pps | jq
@@ -47,19 +49,27 @@ type decodeReply struct {
 }
 
 func (s *server) modeFromQuery(r *http.Request) (core.Mode, error) {
-	mode := hetjpeg.ModePPS
-	if q := r.URL.Query().Get("mode"); q != "" {
-		found := false
-		for _, m := range hetjpeg.AllModes() {
-			if m.String() == q {
-				mode, found = m, true
-			}
-		}
-		if !found {
-			return 0, fmt.Errorf("unknown mode %q", q)
-		}
+	q := r.URL.Query().Get("mode")
+	if q == "" {
+		return hetjpeg.ModePPS, nil
+	}
+	mode, ok := hetjpeg.ParseMode(q)
+	if !ok {
+		return 0, fmt.Errorf("unknown mode %q", q)
 	}
 	return mode, nil
+}
+
+// schedulerFromQuery selects the /batch wall-clock engine: the
+// pipelined band scheduler by default, ?scheduler=perimage for the
+// whole-image pool (identical pixels, different wall-clock shape).
+func schedulerFromQuery(r *http.Request) (hetjpeg.BatchScheduler, error) {
+	q := r.URL.Query().Get("scheduler")
+	sched, ok := hetjpeg.ParseScheduler(q)
+	if !ok {
+		return 0, fmt.Errorf("unknown scheduler %q", q)
+	}
+	return sched, nil
 }
 
 func (s *server) decode(w http.ResponseWriter, r *http.Request) {
@@ -78,6 +88,9 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// Resolve ModeAuto up front so the reply reports the mode that
+	// actually ran, not the sentinel.
+	mode = mode.Resolve(s.model)
 	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model})
 	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name}
 	if err != nil {
@@ -135,6 +148,11 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	sched, err := schedulerFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	const (
 		maxImages    = 256
 		maxImageSize = 64 << 20
@@ -181,8 +199,9 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	mode = mode.Resolve(s.model) // report the mode that actually runs
 	res, err := hetjpeg.DecodeBatchContext(r.Context(), datas, hetjpeg.BatchOptions{
-		Spec: s.spec, Model: s.model, Mode: mode, ModeSet: true, Workers: s.workers,
+		Spec: s.spec, Model: s.model, Mode: mode, Scheduler: sched, Workers: s.workers,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

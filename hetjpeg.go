@@ -42,8 +42,11 @@ import (
 // Mode selects the execution strategy.
 type Mode = core.Mode
 
-// The six decoder modes of the paper's evaluation.
+// The six decoder modes of the paper's evaluation, plus ModeAuto (the
+// zero value), which resolves to ModePPS when a model is available and
+// ModePipelinedGPU otherwise.
 const (
+	ModeAuto         = core.ModeAuto
 	ModeSequential   = core.ModeSequential
 	ModeSIMD         = core.ModeSIMD
 	ModeGPU          = core.ModeGPU
@@ -54,6 +57,35 @@ const (
 
 // AllModes lists the modes in the paper's order.
 func AllModes() []Mode { return core.AllModes() }
+
+// ParseMode maps a mode name ("auto", "sequential", "simd", "gpu",
+// "pipeline", "sps", "pps") to its Mode; ok is false for unknown names.
+// Frontends should parse with this so the name set has one
+// authoritative site.
+func ParseMode(name string) (Mode, bool) {
+	if name == ModeAuto.String() {
+		return ModeAuto, true
+	}
+	for _, m := range AllModes() {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return ModeAuto, false
+}
+
+// ParseScheduler maps a batch scheduler name ("bands", "perimage") to
+// its BatchScheduler; ok is false for unknown names. The empty string
+// parses as the default (SchedulerBands).
+func ParseScheduler(name string) (BatchScheduler, bool) {
+	switch name {
+	case "", "bands":
+		return SchedulerBands, true
+	case "perimage":
+		return SchedulerPerImage, true
+	}
+	return SchedulerBands, false
+}
 
 // Platform describes one simulated CPU-GPU machine (Table 1).
 type Platform = platform.Spec
@@ -141,8 +173,19 @@ func FromStdImage(src image.Image) *Image {
 }
 
 // BatchOptions configures DecodeBatch. Workers bounds wall-clock
-// concurrency (0 = GOMAXPROCS).
+// concurrency (0 = GOMAXPROCS); Scheduler selects the wall-clock engine.
 type BatchOptions = batch.Options
+
+// BatchScheduler selects the batch wall-clock engine: the pipelined
+// MCU-band work-stealing scheduler (default) or the whole-image worker
+// pool. Pixels and virtual timelines are identical across schedulers.
+type BatchScheduler = batch.Scheduler
+
+// The batch wall-clock engines.
+const (
+	SchedulerBands    = batch.SchedulerBands
+	SchedulerPerImage = batch.SchedulerPerImage
+)
 
 // BatchResult is the outcome of DecodeBatch.
 type BatchResult = batch.Result
@@ -161,8 +204,10 @@ func NewBatchExecutor(opts BatchOptions) (*BatchExecutor, error) {
 	return batch.NewExecutor(opts)
 }
 
-// DecodeBatch decodes a stream of images on a worker pool (wall-clock
-// concurrency) while preserving the paper's virtual-time story: the
+// DecodeBatch decodes a stream of images with the pipelined band
+// scheduler (wall-clock concurrency: entropy decoding of in-flight
+// images overlapped with work-stolen back-phase bands from all of
+// them) while preserving the paper's virtual-time story: the
 // merged timeline overlaps each image's CPU-side entropy decoding with
 // the previous image's device work — the gallery/browser workload the
 // paper's introduction motivates. Per-image scheduling uses PPS when a

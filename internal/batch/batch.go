@@ -2,11 +2,16 @@
 // images — the workload its introduction motivates (billions of photos
 // viewed through browsers and galleries). It is two schedulers in one:
 //
-// In wall-clock time, a worker-pool executor decodes independent images
-// on parallel goroutines (images are independent once entropy decoding
-// is per-image), so a multi-core host reaches near-linear batch
-// throughput. Submit/Results give a streaming interface for services;
-// Decode is the slice-based convenience wrapper.
+// In wall-clock time, a two-stage pipelined band scheduler (the
+// default, see scheduler.go) overlaps sequential entropy decoding of
+// several in-flight images with a shared work-stealing pool executing
+// MCU-row-band back-phase tasks from all of them, with band size and
+// in-flight depth chosen by an online-calibrated performance model. The
+// PR 1 whole-image worker pool remains available as
+// SchedulerPerImage for comparison. Submit/Results give a streaming
+// interface for services; Decode is the slice-based convenience
+// wrapper. Both schedulers produce byte-identical pixels and identical
+// virtual timelines.
 //
 // In virtual time, the paper's semantics are preserved exactly: each
 // image's timeline keeps the invariant that entropy decoding is
@@ -30,36 +35,60 @@ import (
 	"hetjpeg/internal/sim"
 )
 
+// Scheduler selects the wall-clock execution engine of a batch decode.
+// Pixels and virtual timelines are identical across schedulers; only
+// host wall-clock behavior differs.
+type Scheduler int
+
+const (
+	// SchedulerBands, the default, is the two-stage pipelined engine:
+	// entropy decoding of several images in flight overlapped with a
+	// shared work-stealing pool of MCU-row-band back-phase tasks.
+	SchedulerBands Scheduler = iota
+	// SchedulerPerImage is the whole-image worker pool: each worker
+	// decodes one image end to end. Kept for comparison (a mixed-size
+	// corpus leaves workers idle behind a large straggler).
+	SchedulerPerImage
+)
+
 // Options configures a batch decode.
 type Options struct {
 	Spec  *platform.Spec
 	Model *perfmodel.Model
-	// Mode is the per-image execution mode (default ModePPS when a
-	// model is present, ModePipelinedGPU otherwise).
+	// Mode is the per-image execution mode. The zero value
+	// (core.ModeAuto) resolves to ModePPS when a model is present and
+	// ModePipelinedGPU otherwise.
 	Mode core.Mode
-	// hasMode distinguishes the zero value from an explicit Sequential.
-	ModeSet bool
-	// Workers bounds how many images decode concurrently (wall-clock).
-	// Zero means runtime.GOMAXPROCS(0). The virtual batch timeline is
-	// independent of Workers.
+	// Workers bounds the wall-clock decode parallelism (band workers,
+	// or whole-image workers under SchedulerPerImage). Zero means
+	// runtime.GOMAXPROCS(0). The virtual batch timeline is independent
+	// of Workers.
 	Workers int
+	// Scheduler selects the wall-clock engine (default SchedulerBands).
+	Scheduler Scheduler
+	// MaxInFlight caps how many images the band scheduler holds open
+	// at once (each costs whole-image coefficient + sample + RGB
+	// buffers). Zero means Workers+2. The online model chooses the
+	// actual depth within [2, MaxInFlight]. The intake additionally
+	// holds at most one submitted-but-unadmitted image's input bytes,
+	// so peak input retention is MaxInFlight+1 images.
+	MaxInFlight int
 }
 
-func (o Options) mode() core.Mode {
-	if o.ModeSet {
-		return o.Mode
-	}
-	if o.Model != nil {
-		return core.ModePPS
-	}
-	return core.ModePipelinedGPU
-}
+func (o Options) mode() core.Mode { return o.Mode.Resolve(o.Model) }
 
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) maxInflight() int {
+	if o.MaxInFlight > 0 {
+		return o.MaxInFlight
+	}
+	return o.workers() + 2
 }
 
 // ImageResult is one decoded image of the batch.
@@ -105,19 +134,29 @@ type job struct {
 	data  []byte
 }
 
-// Executor is a concurrent batch-decode service: a pool of workers that
-// decode submitted images in parallel and deliver them on Results in
-// completion order. A long-running process creates one Executor and
-// feeds it requests; one-shot batches can use Decode instead.
+// Executor is a concurrent batch-decode service: submitted images are
+// decoded by the configured wall-clock scheduler and delivered on
+// Results in completion order. A long-running process creates one
+// Executor and feeds it requests; one-shot batches can use Decode
+// instead.
 type Executor struct {
 	opts    Options
 	jobs    chan job
 	results chan ImageResult
 	wg      sync.WaitGroup
 	once    sync.Once
+	// devWorkers is each decode's share of the host's device-simulation
+	// budget (SchedulerPerImage only): GOMAXPROCS split evenly across
+	// the pool width, so N concurrent decodes are hard-bounded at
+	// GOMAXPROCS device goroutines total instead of N×GOMAXPROCS. The
+	// static split is deterministic (a decode's wall-clock does not
+	// depend on what else was momentarily in flight); size Workers to
+	// the expected concurrency — a lone image on a wide pool pays a
+	// 1/Workers share.
+	devWorkers int
 }
 
-// NewExecutor starts opts.Workers decode workers.
+// NewExecutor starts the scheduler's worker goroutines.
 func NewExecutor(opts Options) (*Executor, error) {
 	if opts.Spec == nil {
 		return nil, fmt.Errorf("batch: Spec is required")
@@ -128,9 +167,25 @@ func NewExecutor(opts Options) (*Executor, error) {
 		jobs:    make(chan job),
 		results: make(chan ImageResult, n),
 	}
-	e.wg.Add(n)
-	for i := 0; i < n; i++ {
-		go e.worker()
+	switch opts.Scheduler {
+	case SchedulerPerImage:
+		e.devWorkers = runtime.GOMAXPROCS(0) / n
+		if e.devWorkers < 1 {
+			e.devWorkers = 1
+		}
+		e.wg.Add(n)
+		for i := 0; i < n; i++ {
+			go e.worker()
+		}
+	case SchedulerBands:
+		s := newBandScheduler(opts, n, e.results)
+		e.wg.Add(n + 1)
+		go s.intake(e.jobs, &e.wg)
+		for i := 0; i < n; i++ {
+			go s.worker(i, &e.wg)
+		}
+	default:
+		return nil, fmt.Errorf("batch: unknown scheduler %d", opts.Scheduler)
 	}
 	return e, nil
 }
@@ -147,9 +202,10 @@ func (e *Executor) decodeOne(j job) ImageResult {
 		return ImageResult{Index: j.index, Err: err}
 	}
 	res, err := core.Decode(j.data, core.Options{
-		Mode:  e.opts.mode(),
-		Spec:  e.opts.Spec,
-		Model: e.opts.Model,
+		Mode:          e.opts.mode(),
+		Spec:          e.opts.Spec,
+		Model:         e.opts.Model,
+		DeviceWorkers: e.devWorkers,
 	})
 	if err != nil {
 		return ImageResult{Index: j.index, Err: fmt.Errorf("batch: image %d: %w", j.index, err)}
@@ -157,10 +213,12 @@ func (e *Executor) decodeOne(j job) ImageResult {
 	return ImageResult{Index: j.index, Res: res}
 }
 
-// Submit enqueues one image. It blocks while all workers are busy and
-// the result buffer is full; it returns ctx.Err() if ctx is cancelled
-// first. Index is echoed in the corresponding ImageResult. Submit must
-// not be called after Close.
+// Submit enqueues one image. It blocks while the scheduler's intake is
+// full — the band scheduler's calibrated in-flight image budget (at
+// most Options.MaxInFlight), or, under SchedulerPerImage, all workers
+// busy with the result buffer full — and returns ctx.Err() if ctx is
+// cancelled first. Index is echoed in the corresponding ImageResult.
+// Submit must not be called after Close.
 func (e *Executor) Submit(ctx context.Context, index int, data []byte) error {
 	select {
 	case e.jobs <- job{ctx: ctx, index: index, data: data}:

@@ -62,7 +62,7 @@ func TestBatchOverlapBeatsSerial(t *testing.T) {
 func TestBatchPixelCorrectness(t *testing.T) {
 	spec := platform.GTX680()
 	datas := corpus(t, 3)
-	res, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true})
+	res, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestBatchFailureIsolation(t *testing.T) {
 	spec := platform.GT430()
 	datas := corpus(t, 4)
 	datas[1] = []byte{0x00, 0x01} // not a JPEG
-	res, err := Decode(datas, Options{Spec: spec, Mode: core.ModeGPU, ModeSet: true})
+	res, err := Decode(datas, Options{Spec: spec, Mode: core.ModeGPU})
 	if err != nil {
 		t.Fatalf("batch aborted on one bad image: %v", err)
 	}
@@ -136,11 +136,11 @@ func TestBatchFailureIsolation(t *testing.T) {
 func TestBatchGainGrowsWithCount(t *testing.T) {
 	// More images amortize the non-overlapped head and tail.
 	spec := platform.GTX560()
-	two, err := Decode(corpus(t, 2), Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true})
+	two, err := Decode(corpus(t, 2), Options{Spec: spec, Mode: core.ModePipelinedGPU})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, err := Decode(corpus(t, 8), Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true})
+	eight, err := Decode(corpus(t, 8), Options{Spec: spec, Mode: core.ModePipelinedGPU})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,11 +155,11 @@ func TestBatchGainGrowsWithCount(t *testing.T) {
 func TestBatchDeterministicAcrossWorkers(t *testing.T) {
 	spec := platform.GTX560()
 	datas := corpus(t, 8)
-	one, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true, Workers: 1})
+	one, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true, Workers: 8})
+	many, err := Decode(datas, Options{Spec: spec, Mode: core.ModePipelinedGPU, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestMergeMatchesQuadraticReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []core.Mode{core.ModePipelinedGPU, core.ModePPS, core.ModeSIMD} {
-		res, err := Decode(corpus(t, 5), Options{Spec: spec, Model: model, Mode: mode, ModeSet: true})
+		res, err := Decode(corpus(t, 5), Options{Spec: spec, Model: model, Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +253,7 @@ func TestMergeMatchesQuadraticReference(t *testing.T) {
 func TestExecutorStreaming(t *testing.T) {
 	spec := platform.GTX680()
 	datas := corpus(t, 5)
-	ex, err := NewExecutor(Options{Spec: spec, Mode: core.ModePipelinedGPU, ModeSet: true, Workers: 3})
+	ex, err := NewExecutor(Options{Spec: spec, Mode: core.ModePipelinedGPU, Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestBatchCancellation(t *testing.T) {
 	spec := platform.GTX560()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // cancel before anything runs
-	res, err := DecodeContext(ctx, corpus(t, 4), Options{Spec: spec, Mode: core.ModeSIMD, ModeSet: true, Workers: 2})
+	res, err := DecodeContext(ctx, corpus(t, 4), Options{Spec: spec, Mode: core.ModeSIMD, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

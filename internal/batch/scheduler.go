@@ -1,0 +1,376 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/perfmodel"
+)
+
+// This file implements the wall-clock band scheduler: the paper's
+// pipelined execution and dynamic partitioning ideas applied to real
+// host time across a whole batch. Decoding splits at the pipeline
+// boundary into two stages:
+//
+//   - Stage 1 (entropy): strictly sequential Huffman decoding, one
+//     stream per image, but several images in flight at once.
+//   - Stage 2 (back phase): the fused dequant+IDCT / upsample / color
+//     pipeline, decomposed into MCU-row-band tasks.
+//
+// One pool of workers runs both stages. Band tasks from *all* in-flight
+// images share per-worker work-stealing deques (owner pops newest —
+// cache-hot after its entropy pass — thieves steal oldest from the
+// longest deque), so a multi-megapixel straggler's back phase is
+// shredded across every idle worker instead of pinning one, and a
+// worker with no bands left pulls the next image's entropy stream —
+// entropy work naturally overlaps back-phase work across images. Real
+// pixels come from the fused scalar band pipeline (byte-identical to
+// every other execution path); each image's virtual timeline and stats
+// are built by core.Prepared.FinishVirtual exactly as the per-image
+// executor would, so the paper's virtual-time story (per-image PPS,
+// deterministic merge) is unchanged.
+//
+// Two knobs adapt online instead of being tuned offline:
+//
+//   - Band size: bands aim at a fixed wall-clock cost (bandTargetNs),
+//     derived from an EWMA of measured back-phase ns/MCU, so scheduling
+//     overhead stays negligible while stragglers still split finely.
+//   - Images in flight: enough concurrent entropy streams to keep the
+//     band pool fed — derived from the EWMA ratio of entropy to
+//     back-phase time — bounded by MaxInFlight (whole-image buffers are
+//     the memory cost of an in-flight image).
+//
+// When a performance model is present, the EWMAs are seeded from its
+// predictions for the first image and then corrected by measurement —
+// the same predict-then-correct feedback loop as partition.Repartition,
+// but against the host clock instead of virtual time.
+
+const (
+	// bandTargetNs is the wall-clock cost one band task aims for:
+	// large enough that deque traffic is noise, small enough that a
+	// straggler's tail spreads across the pool.
+	bandTargetNs = 200e3
+	// minInflight keeps at least one image's entropy overlapping
+	// another's back phase — the cross-image pipeline of the package
+	// doc, in wall-clock time.
+	minInflight = 2
+)
+
+// calibrator is the online performance model: EWMA-corrected ns/MCU of
+// each stage, optionally seeded from the offline perfmodel fit.
+type calibrator struct {
+	entPerMCU  perfmodel.OnlineRate // stage 1: entropy ns per MCU
+	backPerMCU perfmodel.OnlineRate // stage 2: back-phase ns per MCU
+	seeded     bool
+}
+
+// seedFromModel primes the EWMAs from the fitted model's predictions
+// for the first image seen. The fit predicts the *simulated* platform,
+// not this host, so only the magnitude and entropy:back ratio are
+// borrowed for the first scheduling decisions; measurements correct
+// them immediately (the Repartition-style feedback step).
+func (c *calibrator) seedFromModel(model *perfmodel.Model, f *jpegcodec.Frame, d float64) {
+	if c.seeded || model == nil {
+		return
+	}
+	c.seeded = true
+	sub := f.Sub
+	if sub == jfif.SubGray {
+		sub = jfif.Sub444
+	}
+	sm := model.ForSub(sub)
+	if sm == nil {
+		return
+	}
+	mcus := float64(f.MCURows * f.MCUsPerRow)
+	w, h := float64(f.Img.Width), float64(f.Img.Height)
+	c.entPerMCU.Seed(sm.THuff(w, h, d) / mcus)
+	c.backPerMCU.Seed(sm.PCPUScalar.Eval(w, h) / mcus)
+}
+
+// bandRows sizes one image's band tasks from the calibrated back-phase
+// rate: aim for bandTargetNs per band, but never coarser than one
+// band per worker (a lone straggler must still shred across the pool).
+func (c *calibrator) bandRows(f *jpegcodec.Frame, workers int) int {
+	rows := f.MCURows
+	br := 1
+	if per := c.backPerMCU.Value(); per > 0 {
+		br = int(bandTargetNs/(per*float64(f.MCUsPerRow)) + 0.5)
+	} else if workers > 0 {
+		// Cold start: a few bands per worker.
+		br = rows / (4 * workers)
+	}
+	if br < 1 {
+		br = 1
+	}
+	if workers > 1 {
+		if lim := (rows + workers - 1) / workers; br > lim {
+			br = lim
+		}
+	}
+	if br > rows {
+		br = rows
+	}
+	return br
+}
+
+// inflightTarget chooses how many images may be in flight: the share of
+// workers the entropy stage needs to keep the band pool fed (the
+// entropy fraction of per-MCU work), plus minInflight of pipeline
+// slack, clamped to the memory bound.
+func (c *calibrator) inflightTarget(workers, maxInflight int) int {
+	t := minInflight + workers/2 // cold start
+	e, b := c.entPerMCU.Value(), c.backPerMCU.Value()
+	if e > 0 && b > 0 {
+		t = int(float64(workers)*e/(e+b)+0.5) + minInflight
+	}
+	if t < minInflight {
+		t = minInflight
+	}
+	if t > maxInflight {
+		t = maxInflight
+	}
+	return t
+}
+
+// flightImage is one image between entropy start and result delivery.
+type flightImage struct {
+	ctx   context.Context
+	index int
+	prep  *core.Prepared
+	plan  *jpegcodec.BandPlan
+	res   *core.Result
+	// remaining and err are guarded by bandScheduler.mu.
+	remaining int
+	err       error
+}
+
+// bandTask is one schedulable unit of stage 2.
+type bandTask struct {
+	img  *flightImage
+	band int
+}
+
+// bandScheduler is the two-stage pipelined engine behind Executor when
+// Options.Scheduler is SchedulerBands.
+type bandScheduler struct {
+	opts        Options
+	workers     int
+	maxInflight int
+	results     chan<- ImageResult
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	entropyQ   []job        // accepted images awaiting stage 1
+	deques     [][]bandTask // per-worker band deques
+	inflight   int          // images between acceptance and delivery
+	target     int          // calibrated in-flight budget
+	intakeDone bool
+	cal        calibrator
+}
+
+func newBandScheduler(opts Options, workers int, results chan<- ImageResult) *bandScheduler {
+	s := &bandScheduler{
+		opts:        opts,
+		workers:     workers,
+		maxInflight: opts.maxInflight(),
+		results:     results,
+		deques:      make([][]bandTask, workers),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.target = s.cal.inflightTarget(workers, s.maxInflight)
+	return s
+}
+
+// intake accepts submitted jobs into the pipeline, blocking while the
+// in-flight budget is spent — the backpressure Submit callers feel.
+func (s *bandScheduler) intake(jobs <-chan job, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range jobs {
+		s.mu.Lock()
+		for s.inflight >= s.target {
+			s.cond.Wait()
+		}
+		s.inflight++
+		s.entropyQ = append(s.entropyQ, j)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.intakeDone = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// worker is one pool goroutine. Band tasks come first (own deque, then
+// stealing); with no bands runnable it starts the next image's entropy
+// stream; with nothing at all it sleeps until the state changes.
+func (s *bandScheduler) worker(id int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	scratch := &jpegcodec.ConvertScratch{}
+	s.mu.Lock()
+	for {
+		if t, ok := s.take(id); ok {
+			s.runBand(t, scratch)
+			continue
+		}
+		if len(s.entropyQ) > 0 {
+			j := s.entropyQ[0]
+			s.entropyQ = s.entropyQ[1:]
+			s.runEntropy(id, j)
+			continue
+		}
+		if s.intakeDone && s.inflight == 0 {
+			break
+		}
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// take pops a band task: newest from the worker's own deque (cache-hot
+// LIFO), else the oldest from the longest other deque (steal FIFO).
+// Caller holds mu.
+func (s *bandScheduler) take(id int) (bandTask, bool) {
+	if d := s.deques[id]; len(d) > 0 {
+		t := d[len(d)-1]
+		s.deques[id] = d[:len(d)-1]
+		return t, true
+	}
+	victim, best := -1, 0
+	for i, d := range s.deques {
+		if i != id && len(d) > best {
+			victim, best = i, len(d)
+		}
+	}
+	if victim < 0 {
+		return bandTask{}, false
+	}
+	d := s.deques[victim]
+	t := d[0]
+	s.deques[victim] = d[1:]
+	return t, true
+}
+
+// runEntropy executes stage 1 for one image and, on success, plans its
+// bands onto the worker's own deque. Called and returns with mu held.
+func (s *bandScheduler) runEntropy(id int, j job) {
+	s.mu.Unlock()
+	img, entNs, ir := s.entropyStage(j)
+	s.mu.Lock()
+	if img == nil {
+		s.deliver(ir)
+		return
+	}
+	f := img.prep.Frame()
+	mcus := f.MCURows * f.MCUsPerRow
+	s.cal.seedFromModel(s.opts.Model, f, f.Img.EntropyDensity())
+	s.cal.entPerMCU.Observe(entNs / float64(mcus))
+	s.target = s.cal.inflightTarget(s.workers, s.maxInflight)
+	img.plan = jpegcodec.PlanBands(f, 0, f.MCURows, s.cal.bandRows(f, s.workers))
+	img.remaining = img.plan.Bands()
+	// Push in reverse so the owner's LIFO pop executes band 0 first.
+	for i := img.plan.Bands() - 1; i >= 0; i-- {
+		s.deques[id] = append(s.deques[id], bandTask{img: img, band: i})
+	}
+	s.cond.Broadcast()
+}
+
+// entropyStage parses and entropy-decodes one image (no lock held) and
+// builds its virtual-time result. On failure the returned flightImage
+// is nil and the ImageResult carries the error.
+func (s *bandScheduler) entropyStage(j job) (*flightImage, float64, ImageResult) {
+	fail := func(err error) (*flightImage, float64, ImageResult) {
+		if j.ctx.Err() == nil {
+			err = fmt.Errorf("batch: image %d: %w", j.index, err)
+		}
+		return nil, 0, ImageResult{Index: j.index, Err: err}
+	}
+	if err := j.ctx.Err(); err != nil {
+		return fail(err)
+	}
+	prep, err := core.Prepare(j.data, core.Options{
+		Mode:  s.opts.Mode,
+		Spec:  s.opts.Spec,
+		Model: s.opts.Model,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	t0 := time.Now()
+	if err := prep.EntropyDecode(j.ctx); err != nil {
+		prep.Release()
+		return fail(err)
+	}
+	entNs := float64(time.Since(t0))
+	res, err := prep.FinishVirtual()
+	if err != nil {
+		prep.Release()
+		return fail(err)
+	}
+	return &flightImage{ctx: j.ctx, index: j.index, prep: prep, res: res}, entNs, ImageResult{}
+}
+
+// runBand executes one band task and accounts for the image's
+// completion. Called and returns with mu held.
+func (s *bandScheduler) runBand(t bandTask, scratch *jpegcodec.ConvertScratch) {
+	img := t.img
+	skip := img.err != nil
+	s.mu.Unlock()
+	var bandNs float64
+	var bandErr error
+	if !skip {
+		if err := img.ctx.Err(); err != nil {
+			bandErr = err
+		} else {
+			t0 := time.Now()
+			img.plan.ExecBand(t.band, img.prep.Output(), scratch)
+			bandNs = float64(time.Since(t0))
+		}
+	}
+	s.mu.Lock()
+	if bandErr != nil && img.err == nil {
+		img.err = bandErr
+	}
+	if bandNs > 0 {
+		mcus := img.plan.BandMCURows(t.band) * img.prep.Frame().MCUsPerRow
+		s.cal.backPerMCU.Observe(bandNs / float64(mcus))
+	}
+	img.remaining--
+	if img.remaining == 0 {
+		s.complete(img, scratch)
+	}
+}
+
+// complete finishes an image whose last band ran: seam rows, then
+// delivery (or buffer release on failure). Called and returns with mu
+// held.
+func (s *bandScheduler) complete(img *flightImage, scratch *jpegcodec.ConvertScratch) {
+	err := img.err
+	s.mu.Unlock()
+	ir := ImageResult{Index: img.index}
+	if err != nil {
+		img.prep.Release()
+		ir.Err = err
+	} else {
+		img.plan.FinishSeams(img.prep.Output(), scratch)
+		ir.Res = img.res
+	}
+	s.mu.Lock()
+	s.deliver(ir)
+}
+
+// deliver sends one result and retires its in-flight slot. Called and
+// returns with mu held (the send itself is unlocked).
+func (s *bandScheduler) deliver(ir ImageResult) {
+	s.mu.Unlock()
+	s.results <- ir
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+}

@@ -7,7 +7,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"hetjpeg/internal/jfif"
@@ -18,12 +17,17 @@ import (
 	"hetjpeg/internal/sim"
 )
 
-// Mode selects the execution strategy (the six decoders of Section 6).
+// Mode selects the execution strategy (the six decoders of Section 6,
+// plus the ModeAuto sentinel that picks one).
 type Mode int
 
 const (
+	// ModeAuto, the zero value, resolves to ModePPS when a performance
+	// model is available and ModePipelinedGPU otherwise, so a zero-value
+	// Options is self-describing ("best schedule I can run").
+	ModeAuto Mode = iota
 	// ModeSequential is the libjpeg-style single-threaded scalar decoder.
-	ModeSequential Mode = iota
+	ModeSequential
 	// ModeSIMD is the libjpeg-turbo analog: same schedule as sequential
 	// with the fast CPU parallel phase. It is the paper's baseline.
 	ModeSIMD
@@ -41,12 +45,25 @@ const (
 )
 
 var modeNames = map[Mode]string{
+	ModeAuto:         "auto",
 	ModeSequential:   "sequential",
 	ModeSIMD:         "simd",
 	ModeGPU:          "gpu",
 	ModePipelinedGPU: "pipeline",
 	ModeSPS:          "sps",
 	ModePPS:          "pps",
+}
+
+// Resolve maps ModeAuto to the concrete mode the decoder would pick
+// given model availability; concrete modes resolve to themselves.
+func (m Mode) Resolve(model *perfmodel.Model) Mode {
+	if m != ModeAuto {
+		return m
+	}
+	if model != nil {
+		return ModePPS
+	}
+	return ModePipelinedGPU
 }
 
 // String implements fmt.Stringer.
@@ -84,6 +101,12 @@ type Options struct {
 	// output is byte-identical either way. It affects host wall-clock
 	// only — the virtual timeline models the single-core schedule.
 	CPUWorkers int
+	// DeviceWorkers bounds the host goroutines simulating one decode's
+	// device (kernel work-groups). 0 means GOMAXPROCS. Batch decoding
+	// splits a shared budget across concurrent images so N in-flight
+	// decodes do not contend on N×GOMAXPROCS device workers. Virtual
+	// costs and pixels are unaffected; only host wall-clock changes.
+	DeviceWorkers int
 }
 
 // Stats reports scheduling decisions.
@@ -128,10 +151,7 @@ func (r *Result) Release() {
 
 // Decode decompresses a baseline JPEG stream under the given mode.
 func Decode(data []byte, opts Options) (*Result, error) {
-	if opts.Spec == nil {
-		return nil, errors.New("core: Options.Spec is required")
-	}
-	f, ed, err := jpegcodec.PrepareDecode(data)
+	p, err := Prepare(data, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -139,47 +159,16 @@ func Decode(data []byte, opts Options) (*Result, error) {
 	// every mode performs it on the CPU. Real decode happens up front;
 	// the virtual timeline places the per-row costs according to the
 	// mode's schedule.
-	if err := ed.DecodeAll(); err != nil {
+	if err := p.EntropyDecode(nil); err != nil {
+		p.Release() // corrupt stream: hand the slabs back to the pools
 		return nil, err
 	}
-	st := &decodeState{
-		opts: opts,
-		f:    f,
-		ed:   ed,
-		out:  jpegcodec.NewRGBImage(f.Img.Width, f.Img.Height),
-		d:    f.Img.EntropyDensity(),
-	}
-	st.rowCost = make([]float64, f.MCURows)
-	blocksPerRow := blocksPerMCURow(f)
-	for i, bits := range ed.BitsPerRow {
-		st.rowCost[i] = opts.Spec.HuffmanNs(bits, blocksPerRow)
-	}
-
-	switch opts.Mode {
-	case ModeSequential:
-		err = st.runCPUOnly(false)
-	case ModeSIMD:
-		err = st.runCPUOnly(true)
-	case ModeGPU:
-		err = st.runGPU(false)
-	case ModePipelinedGPU:
-		err = st.runGPU(true)
-	case ModeSPS:
-		err = st.runPartitioned(false)
-	case ModePPS:
-		err = st.runPartitioned(true)
-	default:
-		err = fmt.Errorf("core: unknown mode %v", opts.Mode)
-	}
+	res, err := p.finish(false)
 	if err != nil {
+		p.Release()
 		return nil, err
 	}
-	st.res.Image = st.out
-	st.res.Frame = f
-	st.res.Stats.MCURows = f.MCURows
-	st.res.HuffNs = st.huffTotal()
-	st.res.TotalNs = st.res.Timeline.Makespan()
-	return &st.res, nil
+	return res, nil
 }
 
 // decodeState carries one decode through its mode runner.
@@ -190,9 +179,22 @@ type decodeState struct {
 	out  *jpegcodec.RGBImage
 	d    float64 // entropy density
 
+	// skipReal suppresses the real pixel work of the mode runners (an
+	// external band scheduler owns it) while still building the mode's
+	// exact virtual timeline and stats — the analytic cost plans are
+	// identical to executed costs (asserted by tests), so the result is
+	// indistinguishable from an executed decode except that out is
+	// filled by the external scheduler rather than the runner.
+	skipReal bool
+
 	rowCost []float64 // virtual huffman ns per MCU row
 	res     Result
 }
+
+// virtual reports whether the mode runners should skip real pixel work:
+// either the caller asked for a virtual-only decode, or an external
+// scheduler executes the back phase.
+func (st *decodeState) virtual() bool { return st.opts.VirtualOnly || st.skipReal }
 
 func (st *decodeState) huffTotal() float64 {
 	var s float64

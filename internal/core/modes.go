@@ -16,7 +16,7 @@ import (
 // runCPUOnly executes the sequential or SIMD decoder: Huffman then the
 // whole-image CPU parallel phase.
 func (st *decodeState) runCPUOnly(simd bool) error {
-	if !st.opts.VirtualOnly {
+	if !st.virtual() {
 		jpegcodec.ParallelPhaseScalarWorkers(st.f, 0, st.f.MCURows, st.out, st.opts.CPUWorkers)
 	}
 
@@ -39,10 +39,10 @@ func (st *decodeState) runGPU(pipelined bool) error {
 	} else {
 		chunks = st.makeChunks(f.MCURows, f.MCURows, f.Img.Height)
 	}
-	if st.opts.VirtualOnly {
+	if st.virtual() {
 		st.fillChunkPlans(chunks)
 	} else {
-		dev := gpusim.New(st.opts.Spec)
+		dev := gpusim.NewWithWorkers(st.opts.Spec, st.opts.DeviceWorkers)
 		eng := kernels.NewEngine(dev, f, !st.opts.SplitKernels)
 		st.runChunksOnDevice(eng, chunks)
 		eng.Release()
@@ -129,10 +129,10 @@ func (st *decodeState) runPartitioned(pps bool) error {
 	tile := st.newCPUTile(s)
 
 	// Real execution: device chunks run concurrently with the CPU tile.
-	if st.opts.VirtualOnly {
+	if st.virtual() {
 		st.fillChunkPlans(chunks)
 	} else {
-		dev := gpusim.New(st.opts.Spec)
+		dev := gpusim.NewWithWorkers(st.opts.Spec, st.opts.DeviceWorkers)
 		eng := kernels.NewEngine(dev, f, !st.opts.SplitKernels)
 		var wg sync.WaitGroup
 		wg.Add(1)

@@ -220,10 +220,11 @@ func parallelPhaseBands(f *Frame, m0, m1 int, out *RGBImage, cs *convertScratch)
 
 // ParallelPhaseScalarWorkers runs the fused parallel phase with an
 // intra-image worker pool over contiguous MCU-row chunks — the paper's
-// own CPU parallel-phase decomposition. Output is byte-identical to the
-// sequential pipeline: for 4:2:0, the two pixel rows at each chunk seam
-// (whose vertical chroma filter reads both chunks) are deferred until
-// every chunk's reconstruction finished. workers <= 1 runs sequentially.
+// own CPU parallel-phase decomposition, one band per worker on the
+// shared BandPlan machinery. Output is byte-identical to the sequential
+// pipeline: for 4:2:0, the two pixel rows at each chunk seam (whose
+// vertical chroma filter reads both chunks) are deferred until every
+// chunk's reconstruction finished. workers <= 1 runs sequentially.
 func ParallelPhaseScalarWorkers(f *Frame, m0, m1 int, out *RGBImage, workers int) {
 	rows := m1 - m0
 	if workers > rows {
@@ -233,74 +234,17 @@ func ParallelPhaseScalarWorkers(f *Frame, m0, m1 int, out *RGBImage, workers int
 		ParallelPhaseScalar(f, m0, m1, out)
 		return
 	}
-	is420 := f.Sub == jfif.Sub420
-	_, r1 := f.PixelRows(m0, m1)
-
-	// Contiguous chunk per worker.
-	starts := make([]int, workers+1)
-	for i := 0; i <= workers; i++ {
-		starts[i] = m0 + rows*i/workers
-	}
-
+	bp := planBandsN(f, m0, m1, workers)
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		a, b := starts[i], starts[i+1]
+	for i := 0; i < bp.Bands(); i++ {
 		wg.Add(1)
-		go func(i, a, b int) {
+		go func(i int) {
 			defer wg.Done()
-			cs := newConvertScratch(f)
-			lo, _ := f.PixelRows(a, b)
-			if is420 && i > 0 {
-				// Rows 16a-1 (owned here by bound shift) and 16a read
-				// the previous chunk's chroma: both become seam rows.
-				lo = a*f.MCUHeight + 1
-			}
-			hi := r1
-			if i < workers-1 {
-				hi = bandBound(f, b)
-			}
-			// Fused band loop, restricted to this chunk's safe rows.
-			y := lo
-			for m := a; m < b; m++ {
-				for c := range f.Planes {
-					IDCTRange(f, c, m, m+1)
-				}
-				yEnd := hi
-				if m+1 < b {
-					if e := bandBound(f, m+1); e < yEnd {
-						yEnd = e
-					}
-				}
-				if yEnd < y {
-					yEnd = y
-				}
-				colorConvertRange(f, y, yEnd, out, cs)
-				y = yEnd
-			}
-		}(i, a, b)
+			bp.ExecBand(i, out, &ConvertScratch{})
+		}(i)
 	}
 	wg.Wait()
-
-	if is420 {
-		// Seam rows: for each interior chunk boundary a, pixel rows
-		// 16a-1 and 16a need chroma from both sides; all planes are
-		// reconstructed now.
-		cs := newConvertScratch(f)
-		for i := 1; i < workers; i++ {
-			a := starts[i]
-			lo := a*f.MCUHeight - 1
-			hi := a*f.MCUHeight + 1
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > r1 {
-				hi = r1
-			}
-			if lo < hi {
-				colorConvertRange(f, lo, hi, out, cs)
-			}
-		}
-	}
+	bp.FinishSeams(out, &ConvertScratch{})
 }
 
 // DecodeScalar is the sequential reference decoder (the libjpeg analog):

@@ -1,0 +1,45 @@
+package perfmodel
+
+// OnlineRate is the runtime companion to the offline fit: an
+// exponentially weighted moving average of a measured rate (e.g. ns per
+// MCU of one pipeline stage), optionally seeded from a model
+// prediction. It is the wall-clock analog of the partition package's
+// Equation (16)/(17) feedback correction: start from what the fitted
+// model predicts, then pull toward what the host actually measures, so
+// schedulers adapt to the machine they run on instead of trusting the
+// offline fit.
+//
+// The zero value is unseeded; Value returns 0 until the first Seed or
+// Observe. OnlineRate is not goroutine-safe — callers serialize access
+// (the batch scheduler updates it under its scheduling lock).
+type OnlineRate struct {
+	v float64
+}
+
+// onlineAlpha is the EWMA smoothing factor: each observation moves the
+// estimate a quarter of the way, forgiving one noisy band without going
+// numb to real drift (GC pauses, frequency scaling, corpus shifts).
+const onlineAlpha = 0.25
+
+// Seed primes an unseeded rate with a model prediction; once a value
+// exists (seeded or observed), Seed is a no-op.
+func (r *OnlineRate) Seed(x float64) {
+	if r.v == 0 && x > 0 {
+		r.v = x
+	}
+}
+
+// Observe folds one measurement into the estimate.
+func (r *OnlineRate) Observe(x float64) {
+	if x <= 0 {
+		return
+	}
+	if r.v == 0 {
+		r.v = x
+		return
+	}
+	r.v += onlineAlpha * (x - r.v)
+}
+
+// Value returns the current estimate (0 when unseeded).
+func (r *OnlineRate) Value() float64 { return r.v }
