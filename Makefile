@@ -12,7 +12,7 @@ BENCH_PATTERN ?= BenchmarkDecodeScalar$$|BenchmarkDecodeScalarSub|BenchmarkDecod
 BENCH_BATCH_OUT ?= BENCH_3.json
 BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
 
-.PHONY: all build test race bench bench-batch bench-smoke fuzz-smoke fmt vet
+.PHONY: all build test race bench bench-batch bench-smoke fuzz-smoke conformance cover fmt vet
 
 all: build
 
@@ -55,6 +55,28 @@ fuzz-smoke:
 	go test ./internal/bitstream/ -fuzz=FuzzWriterReaderRoundTrip -fuzztime=10s
 	go test ./internal/huffman/ -fuzz=FuzzDecodeArbitraryBits -fuzztime=10s
 	go test ./internal/huffman/ -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s
+	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzProgressiveDecode -fuzztime=10s
+
+# conformance runs the differential harness: the generated baseline +
+# progressive corpus through all modes, both schedulers and worker
+# counts 1-8, and plane-level comparison against the stdlib decoder.
+conformance:
+	go test ./internal/conformance/ -v -run 'TestConformance'
+
+# COVER_FLOOR is the combined statement-coverage floor for the decoder
+# core packages (jpegcodec + jfif), measured across their own tests plus
+# the conformance harness. Raise it as coverage grows; never lower it to
+# make a PR pass.
+COVER_FLOOR ?= 85.0
+
+cover:
+	go test -coverpkg=hetjpeg/internal/jpegcodec,hetjpeg/internal/jfif \
+		-coverprofile=cover.out \
+		./internal/jpegcodec ./internal/jfif ./internal/conformance
+	@total=$$(go tool cover -func=cover.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	echo "jpegcodec+jfif coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 
 fmt:
 	gofmt -l -w .

@@ -1,6 +1,6 @@
-// Command jpegdec decodes baseline JPEG files with any of the six
-// decoder modes on any simulated platform, writes a single result as
-// PNG, and reports the virtual schedule. Several positional files are
+// Command jpegdec decodes baseline or progressive JPEG files with any
+// of the six decoder modes on any simulated platform, writes a single
+// result as PNG, and reports the virtual schedule. Several positional files are
 // decoded as one concurrent batch with per-image failure isolation.
 //
 // Usage:
@@ -97,8 +97,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("decoded %dx%d (%s) with %s on %s\n",
-		res.Image.W, res.Image.H, res.Frame.Sub, mode, spec)
+	coding := "baseline"
+	if res.Stats.EntropyScans > 1 {
+		coding = fmt.Sprintf("progressive, %d scans", res.Stats.EntropyScans)
+	}
+	fmt.Printf("decoded %dx%d (%s, %s) with %s on %s\n",
+		res.Image.W, res.Image.H, res.Frame.Sub, coding, mode, spec)
 	fmt.Printf("virtual time: %.2f ms (Huffman %.2f ms, %.0f%% of schedule)\n",
 		res.TotalNs/1e6, res.HuffNs/1e6, 100*res.HuffNs/res.TotalNs)
 	fmt.Printf("split: %d MCU rows on GPU, %d on CPU, %d chunk(s)",

@@ -15,6 +15,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,8 +45,13 @@ type decodeReply struct {
 	CPUMCURows    int     `json:"cpuMcuRows"`
 	Chunks        int     `json:"chunks"`
 	Repartitioned bool    `json:"repartitioned"`
-	WallMs        float64 `json:"wallMs"`
-	Error         string  `json:"error,omitempty"`
+	// EntropyScans is 1 for baseline, the scan count for progressive.
+	EntropyScans int     `json:"entropyScans,omitempty"`
+	WallMs       float64 `json:"wallMs"`
+	Error        string  `json:"error,omitempty"`
+	// Unsupported distinguishes "valid JPEG, feature out of scope"
+	// (HTTP 415) from corruption (HTTP 422).
+	Unsupported bool `json:"unsupported,omitempty"`
 }
 
 func (s *server) modeFromQuery(r *http.Request) (core.Mode, error) {
@@ -95,7 +101,14 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name}
 	if err != nil {
 		reply.Error = err.Error()
-		w.WriteHeader(http.StatusUnprocessableEntity)
+		if errors.Is(err, hetjpeg.ErrUnsupported) {
+			// Valid JPEG, unsupported coding feature: the client should
+			// not retry, but also should not treat the file as corrupt.
+			reply.Unsupported = true
+			w.WriteHeader(http.StatusUnsupportedMediaType)
+		} else {
+			w.WriteHeader(http.StatusUnprocessableEntity)
+		}
 	} else {
 		reply.Width, reply.Height = res.Image.W, res.Image.H
 		reply.VirtualMs = res.TotalNs / 1e6
@@ -104,6 +117,7 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		reply.CPUMCURows = res.Stats.CPUMCURows
 		reply.Chunks = res.Stats.Chunks
 		reply.Repartitioned = res.Stats.Repartitioned
+		reply.EntropyScans = res.Stats.EntropyScans
 		// The reply carries only metadata; hand the pixel and coefficient
 		// slabs back to the pool so concurrent request load stays
 		// allocation-flat.
@@ -115,13 +129,15 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 }
 
 type batchImageReply struct {
-	Index      int     `json:"index"`
-	Width      int     `json:"width,omitempty"`
-	Height     int     `json:"height,omitempty"`
-	VirtualMs  float64 `json:"virtualMs,omitempty"`
-	GPUMCURows int     `json:"gpuMcuRows,omitempty"`
-	CPUMCURows int     `json:"cpuMcuRows,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	Index        int     `json:"index"`
+	Width        int     `json:"width,omitempty"`
+	Height       int     `json:"height,omitempty"`
+	VirtualMs    float64 `json:"virtualMs,omitempty"`
+	GPUMCURows   int     `json:"gpuMcuRows,omitempty"`
+	CPUMCURows   int     `json:"cpuMcuRows,omitempty"`
+	EntropyScans int     `json:"entropyScans,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	Unsupported  bool    `json:"unsupported,omitempty"`
 }
 
 type batchReply struct {
@@ -220,11 +236,13 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 		img := batchImageReply{Index: ir.Index}
 		if ir.Err != nil {
 			img.Error = ir.Err.Error()
+			img.Unsupported = errors.Is(ir.Err, hetjpeg.ErrUnsupported)
 		} else {
 			img.Width, img.Height = ir.Res.Image.W, ir.Res.Image.H
 			img.VirtualMs = ir.Res.TotalNs / 1e6
 			img.GPUMCURows = ir.Res.Stats.GPUMCURows
 			img.CPUMCURows = ir.Res.Stats.CPUMCURows
+			img.EntropyScans = ir.Res.Stats.EntropyScans
 			ir.Res.Release()
 		}
 		reply.Images = append(reply.Images, img)

@@ -120,7 +120,16 @@ type Result = core.Result
 // Image is an interleaved 8-bit RGB image.
 type Image = jpegcodec.RGBImage
 
-// Decode decompresses a baseline JPEG stream under the given mode.
+// ErrUnsupported marks structurally valid JPEG streams that use a
+// feature outside the decoder's scope (12-bit precision, arithmetic
+// coding, hierarchical frames, exotic sampling layouts). Check it with
+// errors.Is to answer "unsupported media" instead of "corrupt stream";
+// note that progressive (SOF2) streams are fully supported and decode
+// like any baseline image.
+var ErrUnsupported = jfif.ErrUnsupported
+
+// Decode decompresses a baseline or progressive JPEG stream under the
+// given mode.
 func Decode(data []byte, opts Options) (*Result, error) { return core.Decode(data, opts) }
 
 // DecodeRGB is the convenience path: a plain single-threaded decode with
@@ -137,10 +146,14 @@ const (
 	Sub420 = jfif.Sub420
 )
 
-// EncodeOptions configures the baseline encoder.
+// EncodeOptions configures the encoder (baseline by default; set
+// Progressive for a multi-scan SOF2 stream).
 type EncodeOptions = jpegcodec.EncodeOptions
 
-// Encode compresses an RGB image into a baseline JPEG stream.
+// ScanSpec describes one scan of a progressive encode script.
+type ScanSpec = jpegcodec.ScanSpec
+
+// Encode compresses an RGB image into a JPEG stream.
 func Encode(img *Image, opts EncodeOptions) ([]byte, error) { return jpegcodec.Encode(img, opts) }
 
 // NewImage allocates a w x h RGB image.

@@ -63,10 +63,26 @@ const (
 
 // calibrator is the online performance model: EWMA-corrected ns/MCU of
 // each stage, optionally seeded from the offline perfmodel fit.
+//
+// Entropy keeps two rates: a progressive image traverses its
+// coefficient grid once per scan, so its entropy cost per MCU is a
+// multiple of the baseline rate. Folding both into one EWMA would make
+// a progressive burst inflate the baseline estimate (and vice versa),
+// skewing band sizing and in-flight depth for the other class; separate
+// rates keep the calibration honest under mixed traffic.
 type calibrator struct {
-	entPerMCU  perfmodel.OnlineRate // stage 1: entropy ns per MCU
-	backPerMCU perfmodel.OnlineRate // stage 2: back-phase ns per MCU
-	seeded     bool
+	entPerMCU     perfmodel.OnlineRate // stage 1: baseline entropy ns per MCU
+	entPerMCUProg perfmodel.OnlineRate // stage 1: progressive (multi-scan) entropy ns per MCU
+	backPerMCU    perfmodel.OnlineRate // stage 2: back-phase ns per MCU
+	seeded        bool
+}
+
+// entropyRate returns the EWMA matching the image class.
+func (c *calibrator) entropyRate(progressive bool) *perfmodel.OnlineRate {
+	if progressive {
+		return &c.entPerMCUProg
+	}
+	return &c.entPerMCU
 }
 
 // seedFromModel primes the EWMAs from the fitted model's predictions
@@ -91,6 +107,24 @@ func (c *calibrator) seedFromModel(model *perfmodel.Model, f *jpegcodec.Frame, d
 	w, h := float64(f.Img.Width), float64(f.Img.Height)
 	c.entPerMCU.Seed(sm.THuff(w, h, d) / mcus)
 	c.backPerMCU.Seed(sm.PCPUScalar.Eval(w, h) / mcus)
+	// The fit was trained on single-scan baseline images; a progressive
+	// image pays roughly one baseline-shaped pass per scan, so seed the
+	// multi-scan rate with that multiple until a measurement corrects it.
+	if f.Img.Progressive {
+		c.entPerMCUProg.Seed(c.entPerMCU.Value() * float64(len(f.Img.Scans)))
+	}
+}
+
+// entropyEstimate is the effective entropy rate for in-flight sizing:
+// the maximum over the classes seen so far, so a mix of baseline and
+// progressive traffic keeps enough entropy streams open to feed the
+// band pool even when the slower class dominates.
+func (c *calibrator) entropyEstimate() float64 {
+	e := c.entPerMCU.Value()
+	if p := c.entPerMCUProg.Value(); p > e {
+		e = p
+	}
+	return e
 }
 
 // bandRows sizes one image's band tasks from the calibrated back-phase
@@ -125,7 +159,7 @@ func (c *calibrator) bandRows(f *jpegcodec.Frame, workers int) int {
 // slack, clamped to the memory bound.
 func (c *calibrator) inflightTarget(workers, maxInflight int) int {
 	t := minInflight + workers/2 // cold start
-	e, b := c.entPerMCU.Value(), c.backPerMCU.Value()
+	e, b := c.entropyEstimate(), c.backPerMCU.Value()
 	if e > 0 && b > 0 {
 		t = int(float64(workers)*e/(e+b)+0.5) + minInflight
 	}
@@ -270,7 +304,7 @@ func (s *bandScheduler) runEntropy(id int, j job) {
 	f := img.prep.Frame()
 	mcus := f.MCURows * f.MCUsPerRow
 	s.cal.seedFromModel(s.opts.Model, f, f.Img.EntropyDensity())
-	s.cal.entPerMCU.Observe(entNs / float64(mcus))
+	s.cal.entropyRate(f.Img.Progressive).Observe(entNs / float64(mcus))
 	s.target = s.cal.inflightTarget(s.workers, s.maxInflight)
 	img.plan = jpegcodec.PlanBands(f, 0, f.MCURows, s.cal.bandRows(f, s.workers))
 	img.remaining = img.plan.Bands()

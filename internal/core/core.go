@@ -119,6 +119,9 @@ type Stats struct {
 	// RepartitionDeltaRows is the signed MCU-row change of the CPU share
 	// made by the Equation (16) re-partitioning step.
 	RepartitionDeltaRows int
+	// EntropyScans counts the entropy-coded scans: 1 for baseline,
+	// the scan-script length for progressive images.
+	EntropyScans int
 }
 
 // Result is a finished decode.
@@ -195,6 +198,14 @@ type decodeState struct {
 // either the caller asked for a virtual-only decode, or an external
 // scheduler executes the back phase.
 func (st *decodeState) virtual() bool { return st.opts.VirtualOnly || st.skipReal }
+
+// progressive reports whether the frame is multi-scan. Progressive
+// coefficients are final only after the last scan, so the virtual
+// schedules treat the whole entropy stage as a serial prefix: no device
+// chunk may overlap Huffman work, and the PPS mid-decode re-partition
+// (which corrects the split while entropy and device work overlap) does
+// not apply. The back phase itself is unchanged.
+func (st *decodeState) progressive() bool { return st.f.Img.Progressive }
 
 func (st *decodeState) huffTotal() float64 {
 	var s float64

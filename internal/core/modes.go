@@ -49,9 +49,19 @@ func (st *decodeState) runGPU(pipelined bool) error {
 	}
 
 	tl := sim.New()
-	for _, ck := range chunks {
-		st.addHuffTasks(tl, ck.m0, ck.m1)
-		st.addGPUChunkTasks(tl, ck)
+	if st.progressive() {
+		// Multi-scan entropy must complete before any chunk's
+		// coefficients are final: Huffman is a serial prefix, and the
+		// pipelined mode degrades to chunked dispatches after it.
+		st.addHuffTasks(tl, 0, f.MCURows)
+		for _, ck := range chunks {
+			st.addGPUChunkTasks(tl, ck)
+		}
+	} else {
+		for _, ck := range chunks {
+			st.addHuffTasks(tl, ck.m0, ck.m1)
+			st.addGPUChunkTasks(tl, ck)
+		}
 	}
 	st.res.Timeline = tl
 	st.res.Stats.GPUMCURows = f.MCURows
@@ -114,11 +124,14 @@ func (st *decodeState) runPartitioned(pps bool) error {
 		return nil
 	}
 
-	// Build the device chunk list.
+	// Build the device chunk list. The PPS re-partition corrects the
+	// split from Huffman times observed while earlier chunks run on the
+	// device; a progressive image finishes all its entropy before the
+	// first dispatch, so there is nothing mid-flight to correct.
 	var chunks []*gpuChunk
 	if pps {
 		chunks = st.makeChunks(s, st.chunkRows(), gpuRowBound(f, s, true))
-		if len(chunks) >= 2 {
+		if len(chunks) >= 2 && !st.progressive() {
 			s = st.repartition(in, sm, chunks, s)
 			chunks = st.makeChunks(s, st.chunkRows(), gpuRowBound(f, s, true))
 		}
@@ -147,9 +160,11 @@ func (st *decodeState) runPartitioned(pps bool) error {
 
 	// Virtual timeline: the CPU decodes entropy for the GPU chunks (and
 	// dispatches them) first, then its own region's entropy, then its
-	// SIMD tile. SPS decodes all entropy before the single dispatch.
+	// SIMD tile. SPS decodes all entropy before the single dispatch;
+	// progressive images do the same under PPS, since every scan must
+	// land before the first chunk's coefficients are final.
 	tl := sim.New()
-	if pps {
+	if pps && !st.progressive() {
 		for _, ck := range chunks {
 			st.addHuffTasks(tl, ck.m0, ck.m1)
 			st.addGPUChunkTasks(tl, ck)

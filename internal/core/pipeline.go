@@ -130,6 +130,10 @@ func (p *Prepared) finish(skipReal bool) (*Result, error) {
 	st.res.Image = st.out
 	st.res.Frame = st.f
 	st.res.Stats.MCURows = st.f.MCURows
+	st.res.Stats.EntropyScans = 1
+	if st.f.Img.Progressive {
+		st.res.Stats.EntropyScans = len(st.f.Img.Scans)
+	}
 	st.res.HuffNs = st.huffTotal()
 	st.res.TotalNs = st.res.Timeline.Makespan()
 	return &st.res, nil

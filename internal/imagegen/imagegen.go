@@ -109,6 +109,10 @@ type Item struct {
 	Sub     jfif.Subsampling
 	Detail  float64
 	Density float64 // bytes per pixel (Equation 3)
+	// Progressive marks a multi-scan (SOF2) fixture.
+	Progressive bool
+	// RestartInterval is the fixture's DRI value (0 when absent).
+	RestartInterval int
 }
 
 // CorpusOptions controls corpus generation.
@@ -186,6 +190,76 @@ func Build(opts CorpusOptions) ([]Item, error) {
 			}
 		}
 		scene++
+	}
+	return items, nil
+}
+
+// ProgressiveVariant is one point of the progressive fixture space: a
+// scan script paired with a chroma layout and restart interval.
+type ProgressiveVariant struct {
+	Name            string
+	Sub             jfif.Subsampling
+	Script          []jpegcodec.ScanSpec
+	RestartInterval int
+}
+
+// ProgressiveVariants spans the progressive decode paths
+// deterministically: the three chroma layouts under the libjpeg-style
+// default script (spectral selection + successive approximation), the
+// spectral-selection-only script, a multi-band script with EOB runs
+// over mostly-zero high bands, a deep successive-approximation script
+// (maximal refinement coverage), and restart-interval variants of both
+// interleaved-DC and AC scans.
+func ProgressiveVariants() []ProgressiveVariant {
+	return []ProgressiveVariant{
+		{Name: "default-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptDefault()},
+		{Name: "default-422", Sub: jfif.Sub422, Script: jpegcodec.ScriptDefault()},
+		{Name: "default-420", Sub: jfif.Sub420, Script: jpegcodec.ScriptDefault()},
+		{Name: "spectral-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptSpectralOnly()},
+		{Name: "spectral-420", Sub: jfif.Sub420, Script: jpegcodec.ScriptSpectralOnly()},
+		{Name: "multiband-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptMultiBand()},
+		{Name: "multiband-422", Sub: jfif.Sub422, Script: jpegcodec.ScriptMultiBand()},
+		{Name: "deepsa-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptDeepSA()},
+		{Name: "deepsa-420", Sub: jfif.Sub420, Script: jpegcodec.ScriptDeepSA()},
+		{Name: "default-444-rst3", Sub: jfif.Sub444, Script: jpegcodec.ScriptDefault(), RestartInterval: 3},
+		{Name: "spectral-444-rst7", Sub: jfif.Sub444, Script: jpegcodec.ScriptSpectralOnly(), RestartInterval: 7},
+		{Name: "spectral-420-rst4", Sub: jfif.Sub420, Script: jpegcodec.ScriptSpectralOnly(), RestartInterval: 4},
+	}
+}
+
+// BuildProgressive renders and encodes the progressive fixture corpus:
+// every variant at every (size, detail) grid point, with a distinct
+// deterministic scene per item.
+func BuildProgressive(sizes [][2]int, details []float64, seedBase int64) ([]Item, error) {
+	var items []Item
+	for vi, v := range ProgressiveVariants() {
+		for si, wh := range sizes {
+			for di, detail := range details {
+				sc := Scene{Seed: seedBase + int64(vi*1009+si*89+di), Detail: detail}
+				img := Generate(sc, wh[0], wh[1])
+				data, err := jpegcodec.Encode(img, jpegcodec.EncodeOptions{
+					Quality:         85,
+					Subsampling:     v.Sub,
+					Progressive:     true,
+					Script:          v.Script,
+					RestartInterval: v.RestartInterval,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("imagegen: progressive %s %dx%d: %w", v.Name, wh[0], wh[1], err)
+				}
+				items = append(items, Item{
+					Name:            fmt.Sprintf("prog-%s-d%.2f-%dx%d", v.Name, detail, wh[0], wh[1]),
+					Data:            data,
+					W:               wh[0],
+					H:               wh[1],
+					Sub:             v.Sub,
+					Detail:          detail,
+					Density:         float64(len(data)) / float64(wh[0]*wh[1]),
+					Progressive:     true,
+					RestartInterval: v.RestartInterval,
+				})
+			}
+		}
 	}
 	return items, nil
 }

@@ -1,7 +1,9 @@
 // Package jfif parses and writes the JPEG interchange format container:
 // marker segments, frame and scan headers, quantization and Huffman table
-// definitions, and restart intervals. Only baseline sequential DCT
-// (SOF0) with 8-bit precision is supported, matching the paper's scope.
+// definitions, and restart intervals. Baseline sequential DCT (SOF0/SOF1)
+// and progressive DCT (SOF2: spectral selection and successive
+// approximation across multiple scans) with 8-bit precision are
+// supported.
 package jfif
 
 import (
@@ -11,6 +13,18 @@ import (
 
 	"hetjpeg/internal/huffman"
 )
+
+// ErrUnsupported marks streams that are structurally valid JPEG but use
+// a feature outside this decoder's scope (12-bit precision, arithmetic
+// coding, hierarchical frames, exotic sampling layouts). Callers
+// distinguish it from corruption with errors.Is: a service can answer
+// "unsupported media" instead of "bad request".
+var ErrUnsupported = errors.New("unsupported JPEG feature")
+
+// unsupportedf wraps ErrUnsupported with detail, keeping errors.Is intact.
+func unsupportedf(format string, args ...any) error {
+	return fmt.Errorf("jfif: %w: "+format, append([]any{ErrUnsupported}, args...)...)
+}
 
 // Marker codes (second byte after 0xFF).
 const (
@@ -28,6 +42,13 @@ const (
 	MarkerCOM  = 0xFE
 	MarkerRST0 = 0xD0
 )
+
+// maxScans bounds the scan count of a progressive stream. A complete
+// scan script needs at most 1 DC first + 13 DC refinements plus, per
+// component, an AC first and 13 refinements per spectral band; 256 is
+// far above any real encoder and keeps hostile inputs from queuing
+// unbounded scan work.
+const maxScans = 256
 
 // ZigZag maps zig-zag index -> natural (row-major) index.
 var ZigZag = [64]int{
@@ -160,7 +181,33 @@ type Component struct {
 	ACSel    int // AC Huffman table selector (from SOS)
 }
 
-// Image is the parsed structural view of a baseline JPEG file.
+// ScanComponent names one component's share of a progressive scan, with
+// the Huffman tables that were in effect when the scan header was
+// parsed (tables may be redefined between scans, so they are resolved
+// per scan, not per image).
+type ScanComponent struct {
+	CompIdx int // index into Image.Components
+	DC, AC  *huffman.Table
+}
+
+// Scan is one entropy-coded scan of a progressive image: the spectral
+// band [Ss, Se], the successive-approximation bit positions Ah (high,
+// 0 for a first scan) and Al (low), and the scan's entropy bytes with
+// RSTn markers left inline.
+type Scan struct {
+	Comps           []ScanComponent
+	Ss, Se, Ah, Al  int
+	RestartInterval int // DRI value in effect for this scan
+	Data            []byte
+}
+
+// Interleaved reports whether the scan walks the padded MCU grid (more
+// than one component) rather than a single component's own block grid.
+func (s *Scan) Interleaved() bool { return len(s.Comps) > 1 }
+
+// Image is the parsed structural view of a JPEG file. Baseline images
+// have one entropy segment (EntropyData); progressive images carry one
+// Scan per SOS marker instead.
 type Image struct {
 	Width, Height   int
 	Components      []Component
@@ -168,7 +215,9 @@ type Image struct {
 	DCTables        [4]*huffman.Table
 	ACTables        [4]*huffman.Table
 	RestartInterval int
-	EntropyData     []byte // the entropy-coded segment (between SOS header and EOI)
+	EntropyData     []byte // baseline: the entropy-coded segment (between SOS header and EOI)
+	Progressive     bool   // frame came from SOF2
+	Scans           []Scan // progressive: one entry per SOS
 	FileSize        int    // total size of the JPEG stream in bytes
 }
 
@@ -178,11 +227,11 @@ func (im *Image) Subsampling() (Subsampling, error) {
 		return SubGray, nil
 	}
 	if len(im.Components) != 3 {
-		return 0, fmt.Errorf("jfif: unsupported component count %d", len(im.Components))
+		return 0, unsupportedf("component count %d", len(im.Components))
 	}
 	y, cb, cr := im.Components[0], im.Components[1], im.Components[2]
 	if cb.H != 1 || cb.V != 1 || cr.H != 1 || cr.V != 1 {
-		return 0, errors.New("jfif: chroma sampling factors must be 1x1")
+		return 0, unsupportedf("chroma sampling factors other than 1x1")
 	}
 	switch {
 	case y.H == 1 && y.V == 1:
@@ -192,7 +241,7 @@ func (im *Image) Subsampling() (Subsampling, error) {
 	case y.H == 2 && y.V == 2:
 		return Sub420, nil
 	}
-	return 0, fmt.Errorf("jfif: unsupported luma sampling %dx%d", y.H, y.V)
+	return 0, unsupportedf("luma sampling %dx%d", y.H, y.V)
 }
 
 // EntropyDensity returns the paper's entropy-density estimate d =
@@ -204,8 +253,8 @@ func (im *Image) EntropyDensity() float64 {
 	return float64(im.FileSize) / float64(im.Width*im.Height)
 }
 
-// Parse reads a baseline JPEG stream into an Image. The entropy-coded
-// segment is referenced, not copied.
+// Parse reads a baseline or progressive JPEG stream into an Image. The
+// entropy-coded segments are referenced, not copied.
 func Parse(data []byte) (*Image, error) {
 	if len(data) < 4 || data[0] != 0xFF || data[1] != MarkerSOI {
 		return nil, errors.New("jfif: missing SOI marker")
@@ -213,7 +262,7 @@ func Parse(data []byte) (*Image, error) {
 	im := &Image{FileSize: len(data)}
 	pos := 2
 	for {
-		if pos+4 > len(data) {
+		if pos+2 > len(data) {
 			return nil, errors.New("jfif: truncated stream")
 		}
 		if data[pos] != 0xFF {
@@ -222,7 +271,13 @@ func Parse(data []byte) (*Image, error) {
 		marker := data[pos+1]
 		pos += 2
 		if marker == MarkerEOI {
+			if im.Progressive && len(im.Scans) > 0 {
+				return im, nil
+			}
 			return nil, errors.New("jfif: EOI before SOS")
+		}
+		if pos+2 > len(data) {
+			return nil, errors.New("jfif: truncated stream")
 		}
 		segLen := int(binary.BigEndian.Uint16(data[pos:])) // includes the two length bytes
 		if segLen < 2 || pos+segLen > len(data) {
@@ -232,12 +287,16 @@ func Parse(data []byte) (*Image, error) {
 		pos += segLen
 
 		switch marker {
-		case MarkerSOF0, MarkerSOF1:
+		case MarkerSOF0, MarkerSOF1, MarkerSOF2:
+			if im.Components != nil {
+				return nil, errors.New("jfif: multiple frame headers")
+			}
 			if err := im.parseSOF(seg); err != nil {
 				return nil, err
 			}
-		case MarkerSOF2:
-			return nil, errors.New("jfif: progressive JPEG not supported")
+			im.Progressive = marker == MarkerSOF2
+		case 0xC3, 0xC5, 0xC6, 0xC7, 0xC9, 0xCA, 0xCB, 0xCD, 0xCE, 0xCF:
+			return nil, unsupportedf("frame type SOF%d (only baseline SOF0/SOF1 and progressive SOF2 are decoded)", marker-MarkerSOF0)
 		case MarkerDQT:
 			if err := im.parseDQT(seg); err != nil {
 				return nil, err
@@ -252,20 +311,58 @@ func Parse(data []byte) (*Image, error) {
 			}
 			im.RestartInterval = int(binary.BigEndian.Uint16(seg))
 		case MarkerSOS:
-			if err := im.parseSOS(seg); err != nil {
+			if !im.Progressive {
+				if err := im.parseSOS(seg); err != nil {
+					return nil, err
+				}
+				// Entropy data runs to EOI; find the final FFD9.
+				end := len(data)
+				if end >= 2 && data[end-1] == MarkerEOI && data[end-2] == 0xFF {
+					end -= 2
+				}
+				im.EntropyData = data[pos:end]
+				return im, nil
+			}
+			sc, err := im.parseProgressiveSOS(seg)
+			if err != nil {
 				return nil, err
 			}
-			// Entropy data runs to EOI; find the final FFD9.
-			end := len(data)
-			if end >= 2 && data[end-1] == MarkerEOI && data[end-2] == 0xFF {
-				end -= 2
+			if len(im.Scans) >= maxScans {
+				return nil, fmt.Errorf("jfif: more than %d scans", maxScans)
 			}
-			im.EntropyData = data[pos:end]
-			return im, nil
+			// The scan's entropy bytes run to the next non-RST marker
+			// (RSTn markers stay inline; the bit reader consumes them).
+			end := entropyEnd(data, pos)
+			sc.Data = data[pos:end]
+			im.Scans = append(im.Scans, sc)
+			pos = end
 		default:
 			// APPn/COM and friends: skip.
 		}
 	}
+}
+
+// entropyEnd scans forward from pos for the first marker that is not
+// byte stuffing (FF00) and not a restart marker (FFD0-FFD7) — the end
+// of one scan's entropy-coded segment. Running off the end of data
+// returns len(data); the caller's marker loop reports truncation.
+func entropyEnd(data []byte, pos int) int {
+	for i := pos; i+1 < len(data); i++ {
+		if data[i] != 0xFF {
+			continue
+		}
+		b := data[i+1]
+		if b == 0x00 {
+			i++ // stuffed data byte
+			continue
+		}
+		if b >= 0xD0 && b <= 0xD7 {
+			i++ // restart marker, part of the entropy stream
+			continue
+		}
+		return i
+	}
+	return len(data)
 }
 
 func (im *Image) parseSOF(seg []byte) error {
@@ -273,7 +370,7 @@ func (im *Image) parseSOF(seg []byte) error {
 		return errors.New("jfif: short SOF")
 	}
 	if seg[0] != 8 {
-		return fmt.Errorf("jfif: %d-bit precision not supported", seg[0])
+		return unsupportedf("%d-bit sample precision", seg[0])
 	}
 	im.Height = int(binary.BigEndian.Uint16(seg[1:]))
 	im.Width = int(binary.BigEndian.Uint16(seg[3:]))
@@ -282,7 +379,7 @@ func (im *Image) parseSOF(seg []byte) error {
 		return errors.New("jfif: short SOF component list")
 	}
 	if n != 1 && n != 3 {
-		return fmt.Errorf("jfif: unsupported component count %d", n)
+		return unsupportedf("component count %d", n)
 	}
 	im.Components = make([]Component, n)
 	for i := 0; i < n; i++ {
@@ -308,7 +405,7 @@ func (im *Image) parseDQT(seg []byte) error {
 			return errors.New("jfif: DQT selector out of range")
 		}
 		if pq != 0 {
-			return errors.New("jfif: 16-bit quant tables not supported in baseline")
+			return unsupportedf("16-bit quantization tables")
 		}
 		if len(seg) < 65 {
 			return errors.New("jfif: short DQT")
@@ -384,4 +481,82 @@ func (im *Image) parseSOS(seg []byte) error {
 		}
 	}
 	return nil
+}
+
+// parseProgressiveSOS reads one scan header of a progressive image,
+// resolving the Huffman tables in effect right now (DHT segments between
+// scans redefine selectors). Validation follows T.81 G.1: a DC scan
+// (Ss=0) covers only coefficient 0 and may interleave components; an AC
+// scan covers a band [Ss, Se] of a single component; refinement scans
+// shave exactly one bit (Ah = Al+1).
+func (im *Image) parseProgressiveSOS(seg []byte) (Scan, error) {
+	if im.Components == nil {
+		return Scan{}, errors.New("jfif: SOS before SOF")
+	}
+	if len(seg) < 1 {
+		return Scan{}, errors.New("jfif: short SOS")
+	}
+	n := int(seg[0])
+	if n < 1 || n > len(im.Components) {
+		return Scan{}, fmt.Errorf("jfif: scan has %d components, frame has %d", n, len(im.Components))
+	}
+	if len(seg) < 1+2*n+3 {
+		return Scan{}, errors.New("jfif: short SOS body")
+	}
+	sc := Scan{
+		Ss:              int(seg[1+2*n]),
+		Se:              int(seg[2+2*n]),
+		Ah:              int(seg[3+2*n] >> 4),
+		Al:              int(seg[3+2*n] & 0xF),
+		RestartInterval: im.RestartInterval,
+	}
+	switch {
+	case sc.Ss == 0 && sc.Se != 0:
+		return Scan{}, fmt.Errorf("jfif: DC scan with Se=%d", sc.Se)
+	case sc.Ss > 63 || sc.Se > 63 || sc.Se < sc.Ss:
+		return Scan{}, fmt.Errorf("jfif: bad spectral selection [%d, %d]", sc.Ss, sc.Se)
+	case sc.Ss > 0 && n != 1:
+		return Scan{}, fmt.Errorf("jfif: AC scan interleaves %d components", n)
+	case sc.Al > 13 || (sc.Ah != 0 && sc.Ah != sc.Al+1):
+		return Scan{}, fmt.Errorf("jfif: bad successive approximation Ah=%d Al=%d", sc.Ah, sc.Al)
+	}
+	for i := 0; i < n; i++ {
+		id := seg[1+2*i]
+		sel := seg[2+2*i]
+		idx := -1
+		for j := range im.Components {
+			if im.Components[j].ID == id {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			return Scan{}, fmt.Errorf("jfif: SOS references unknown component %d", id)
+		}
+		for _, prev := range sc.Comps {
+			if prev.CompIdx == idx {
+				return Scan{}, fmt.Errorf("jfif: component %d repeated in scan", id)
+			}
+		}
+		scc := ScanComponent{CompIdx: idx}
+		if sc.Ss == 0 && sc.Ah == 0 {
+			if sel>>4 > 3 {
+				return Scan{}, fmt.Errorf("jfif: DC table selector %d out of range", sel>>4)
+			}
+			scc.DC = im.DCTables[sel>>4]
+			if scc.DC == nil {
+				return Scan{}, fmt.Errorf("jfif: scan uses undefined DC table %d", sel>>4)
+			}
+		}
+		if sc.Ss > 0 {
+			if sel&0xF > 3 {
+				return Scan{}, fmt.Errorf("jfif: AC table selector %d out of range", sel&0xF)
+			}
+			scc.AC = im.ACTables[sel&0xF]
+			if scc.AC == nil {
+				return Scan{}, fmt.Errorf("jfif: scan uses undefined AC table %d", sel&0xF)
+			}
+		}
+		sc.Comps = append(sc.Comps, scc)
+	}
+	return sc, nil
 }

@@ -1,0 +1,111 @@
+package jfif
+
+import (
+	"errors"
+	"testing"
+
+	"hetjpeg/internal/huffman"
+)
+
+// buildProgressiveStream assembles a minimal two-scan progressive file
+// by hand: SOF2, one DC scan, a DHT redefinition, one AC scan.
+func buildProgressiveStream(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter()
+	w.WriteAPP0()
+	q := ScaleQuantTable(&StdLuminanceQuant, 85)
+	w.WriteDQT(0, &q)
+	comps := []Component{{ID: 1, H: 1, V: 1, QuantSel: 0}}
+	w.WriteSOF2(24, 16, comps)
+	w.WriteDHT(0, 0, huffman.StdDCLuminance)
+	// DC scan: category 0 (zero diff) for all six blocks. The std DC
+	// code for symbol 0 is 2 bits (00); 6 blocks = 12 bits = 2 bytes.
+	w.WriteProgressiveSOS(comps, 0, 0, 0, 1, []byte{0x00, 0x00})
+	w.WriteDHT(1, 0, huffman.StdACLuminance)
+	// AC scan: EOB (symbol 0x00, code 1010) per block = 24 bits.
+	w.WriteProgressiveSOS(comps, 1, 63, 0, 1, []byte{0xAA, 0xAA, 0xAA})
+	return w.Finish()
+}
+
+func TestParseProgressiveScans(t *testing.T) {
+	im, err := Parse(buildProgressiveStream(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Progressive {
+		t.Fatal("Progressive not set")
+	}
+	if len(im.Scans) != 2 {
+		t.Fatalf("got %d scans, want 2", len(im.Scans))
+	}
+	dc, ac := im.Scans[0], im.Scans[1]
+	if dc.Ss != 0 || dc.Se != 0 || dc.Ah != 0 || dc.Al != 1 {
+		t.Errorf("DC scan header = %+v", dc)
+	}
+	if dc.Comps[0].DC == nil {
+		t.Error("DC scan did not resolve its Huffman table")
+	}
+	if ac.Ss != 1 || ac.Se != 63 || ac.Al != 1 {
+		t.Errorf("AC scan header = %+v", ac)
+	}
+	if ac.Comps[0].AC == nil {
+		t.Error("AC scan did not resolve its Huffman table (defined between scans)")
+	}
+	if len(dc.Data) != 2 || len(ac.Data) != 3 {
+		t.Errorf("scan data lengths = %d, %d", len(dc.Data), len(ac.Data))
+	}
+}
+
+func TestParseProgressiveRejectsBadScans(t *testing.T) {
+	base := buildProgressiveStream(t)
+	// Find the second SOS and corrupt its spectral selection to an
+	// interleaved AC shape is impossible with one component; instead
+	// flip Se below Ss.
+	im, err := Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = im
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated-mid-scan", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"no-EOI", func(b []byte) []byte { return b[:len(b)-2] }},
+	}
+	for _, tc := range cases {
+		data := tc.mut(append([]byte(nil), base...))
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+}
+
+func TestErrUnsupportedTyped(t *testing.T) {
+	// SOF3 (lossless sequential) must surface as ErrUnsupported.
+	data := []byte{0xFF, MarkerSOI, 0xFF, 0xC3, 0x00, 0x08, 8, 0, 16, 0, 16, 1}
+	_, err := Parse(data)
+	if err == nil {
+		t.Fatal("SOF3 parsed")
+	}
+	if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("SOF3 error %v is not ErrUnsupported", err)
+	}
+
+	// A corrupt stream must NOT be ErrUnsupported.
+	_, err = Parse([]byte{0xFF, MarkerSOI, 0x00, 0x01})
+	if err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if errors.Is(err, ErrUnsupported) {
+		t.Errorf("corruption error %v wrongly marked ErrUnsupported", err)
+	}
+
+	// 12-bit precision SOF0.
+	payload := []byte{12, 0, 16, 0, 16, 1, 1, 0x11, 0}
+	data = append([]byte{0xFF, MarkerSOI, 0xFF, MarkerSOF0, 0x00, byte(len(payload) + 2)}, payload...)
+	_, err = Parse(data)
+	if err == nil || !errors.Is(err, ErrUnsupported) {
+		t.Errorf("12-bit precision error %v is not ErrUnsupported", err)
+	}
+}

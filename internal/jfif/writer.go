@@ -81,6 +81,40 @@ func (w *Writer) WriteDRI(interval int) {
 	w.segment(MarkerDRI, payload[:])
 }
 
+// WriteSOF2 emits the progressive frame header (same layout as SOF0,
+// different marker).
+func (w *Writer) WriteSOF2(width, height int, comps []Component) {
+	payload := make([]byte, 6+3*len(comps))
+	payload[0] = 8 // precision
+	binary.BigEndian.PutUint16(payload[1:], uint16(height))
+	binary.BigEndian.PutUint16(payload[3:], uint16(width))
+	payload[5] = byte(len(comps))
+	for i, c := range comps {
+		payload[6+3*i] = c.ID
+		payload[7+3*i] = byte(c.H<<4 | c.V)
+		payload[8+3*i] = byte(c.QuantSel)
+	}
+	w.segment(MarkerSOF2, payload)
+}
+
+// WriteProgressiveSOS emits one progressive scan header (spectral band
+// [ss, se], successive approximation ah/al) followed by its
+// entropy-coded data. Each Component contributes its ID and table
+// selectors.
+func (w *Writer) WriteProgressiveSOS(comps []Component, ss, se, ah, al int, entropy []byte) {
+	payload := make([]byte, 1+2*len(comps)+3)
+	payload[0] = byte(len(comps))
+	for i, c := range comps {
+		payload[1+2*i] = c.ID
+		payload[2+2*i] = byte(c.DCSel<<4 | c.ACSel)
+	}
+	payload[len(payload)-3] = byte(ss)
+	payload[len(payload)-2] = byte(se)
+	payload[len(payload)-1] = byte(ah<<4 | al)
+	w.segment(MarkerSOS, payload)
+	w.buf.Write(entropy)
+}
+
 // WriteSOS emits the scan header followed by the entropy-coded data.
 func (w *Writer) WriteSOS(comps []Component, entropy []byte) {
 	payload := make([]byte, 1+2*len(comps)+3)

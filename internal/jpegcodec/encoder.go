@@ -21,6 +21,12 @@ type EncodeOptions struct {
 	// OptimizeHuffman builds image-specific optimal Huffman tables with a
 	// second statistics pass instead of using the Annex K defaults.
 	OptimizeHuffman bool
+	// Progressive emits a multi-scan SOF2 stream following Script
+	// (default: ScriptDefault). Progressive scans always use per-scan
+	// optimal Huffman tables, so OptimizeHuffman is implied.
+	Progressive bool
+	// Script is the progressive scan script; ignored unless Progressive.
+	Script []ScanSpec
 }
 
 func (o *EncodeOptions) withDefaults() EncodeOptions {
@@ -66,6 +72,10 @@ func Encode(img *RGBImage, opts EncodeOptions) ([]byte, error) {
 	mcuW, mcuH := opts.Subsampling.MCUPixels()
 	mcusPerRow := (img.W + mcuW - 1) / mcuW
 	mcuRows := (img.H + mcuH - 1) / mcuH
+
+	if opts.Progressive {
+		return encodeProgressive(img, opts, comps, coeffs, infos, &lumaQ, &chromaQ, mcusPerRow, mcuRows)
+	}
 
 	dcTabs := [2]huffman.Spec{huffman.StdDCLuminance, huffman.StdDCChrominance}
 	acTabs := [2]huffman.Spec{huffman.StdACLuminance, huffman.StdACChrominance}

@@ -15,11 +15,21 @@ import (
 // pipelined schedulers of Sections 4.5/5.2 interleave these chunks with
 // device work) and can query the exact number of entropy bits each MCU
 // row consumed (PPS re-partitioning, Equations 16-17).
+//
+// Progressive frames decode through the same interface: DecodeRows then
+// measures scan rows (a progressive image traverses its coefficient
+// buffer once per scan), and BitsPerRow aggregates every scan's bits
+// onto the covering luma MCU rows once decoding completes, so the cost
+// model sees the same per-row shape either way. The one semantic
+// difference callers must respect: progressive coefficients are final
+// only when Done reports true — no back-phase work may start earlier.
 type EntropyDecoder struct {
 	f   *Frame
 	r   *bitstream.Reader
 	dc  []int32 // DC predictor per component
 	row int     // next MCU row to decode
+
+	prog *progDecoder // non-nil for progressive frames
 
 	discard bool
 	scratch [64]int32
@@ -34,34 +44,54 @@ type EntropyDecoder struct {
 
 // NewEntropyDecoder prepares chunked entropy decoding for f.
 func NewEntropyDecoder(f *Frame) *EntropyDecoder {
-	blocks := 0
-	for _, c := range f.Img.Components {
-		blocks += c.H * c.V
-	}
-	return &EntropyDecoder{
-		f:               f,
-		r:               bitstream.NewReader(f.Img.EntropyData),
-		dc:              make([]int32, len(f.Img.Components)),
-		BitsPerRow:      make([]int64, 0, f.MCURows),
-		blocksPerMCURow: blocks * f.MCUsPerRow,
-	}
+	return newEntropyDecoder(f, false)
 }
 
 // NewEntropyDecoderDiscard prepares a decode pass that discards the
 // coefficients, recording only per-row bit counts. f may come from
 // NewFrameGeometry (no buffers). Profiling uses this to measure entropy
-// density distribution without whole-image allocations.
+// density distribution without whole-image allocations (progressive
+// refinement needs read-back, so progressive discard decodes still
+// allocate plain coefficient buffers internally).
 func NewEntropyDecoderDiscard(f *Frame) *EntropyDecoder {
-	d := NewEntropyDecoder(f)
-	d.discard = true
+	return newEntropyDecoder(f, true)
+}
+
+func newEntropyDecoder(f *Frame, discard bool) *EntropyDecoder {
+	blocks := 0
+	for _, c := range f.Img.Components {
+		blocks += c.H * c.V
+	}
+	d := &EntropyDecoder{
+		f:               f,
+		r:               bitstream.NewReader(f.Img.EntropyData),
+		dc:              make([]int32, len(f.Img.Components)),
+		BitsPerRow:      make([]int64, 0, f.MCURows),
+		blocksPerMCURow: blocks * f.MCUsPerRow,
+		discard:         discard,
+	}
+	if f.Img.Progressive {
+		d.prog = newProgDecoder(f, discard)
+	}
 	return d
 }
 
-// Row returns the next MCU row index to be decoded.
-func (d *EntropyDecoder) Row() int { return d.row }
+// Row returns the next MCU row index to be decoded (baseline only; a
+// progressive decode reports the current scan's row).
+func (d *EntropyDecoder) Row() int {
+	if d.prog != nil {
+		return d.prog.row
+	}
+	return d.row
+}
 
 // Done reports whether the whole image has been entropy decoded.
-func (d *EntropyDecoder) Done() bool { return d.row >= d.f.MCURows }
+func (d *EntropyDecoder) Done() bool {
+	if d.prog != nil {
+		return d.prog.Done()
+	}
+	return d.row >= d.f.MCURows
+}
 
 // TotalRows returns the number of MCU rows in the image.
 func (d *EntropyDecoder) TotalRows() int { return d.f.MCURows }
@@ -71,9 +101,22 @@ func (d *EntropyDecoder) bitPos() int64 {
 	return int64(d.r.BytePos())*8 - int64(d.r.BitsBuffered())
 }
 
-// DecodeRows entropy-decodes MCU rows [row, row+n) into the coefficient
-// buffer, returning the number of rows actually decoded.
+// DecodeRows entropy-decodes n rows of work into the coefficient
+// buffer, returning the number of rows actually decoded. Baseline rows
+// are MCU rows; progressive rows are scan rows (so the pipelined
+// callers keep their cancellation-poll granularity across scans).
 func (d *EntropyDecoder) DecodeRows(n int) (int, error) {
+	if d.prog != nil {
+		decoded, err := d.prog.DecodeRows(n)
+		if err != nil {
+			return decoded, err
+		}
+		if d.prog.Done() && len(d.BitsPerRow) == 0 {
+			// All scans landed: publish the per-MCU-row aggregate.
+			d.BitsPerRow = d.prog.rowBits
+		}
+		return decoded, nil
+	}
 	decoded := 0
 	for ; n > 0 && d.row < d.f.MCURows; n-- {
 		start := d.bitPos()
@@ -87,10 +130,14 @@ func (d *EntropyDecoder) DecodeRows(n int) (int, error) {
 	return decoded, nil
 }
 
-// DecodeAll decodes every remaining MCU row.
+// DecodeAll decodes every remaining row of work.
 func (d *EntropyDecoder) DecodeAll() error {
-	_, err := d.DecodeRows(d.f.MCURows - d.row)
-	return err
+	for !d.Done() {
+		if _, err := d.DecodeRows(d.f.MCURows); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (d *EntropyDecoder) decodeMCURow(m int) error {

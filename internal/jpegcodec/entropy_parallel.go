@@ -30,6 +30,9 @@ type restartSegment struct {
 // Inside entropy data, 0xFF is always followed by 0x00 (stuffing) or a
 // marker byte, so the scan is unambiguous.
 func splitRestartSegments(f *Frame) ([]restartSegment, error) {
+	if f.Img.Progressive {
+		return nil, fmt.Errorf("jpegcodec: parallel restart decoding applies to baseline scans only")
+	}
 	ri := f.Img.RestartInterval
 	if ri <= 0 {
 		return nil, fmt.Errorf("jpegcodec: stream has no restart interval")
