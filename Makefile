@@ -12,7 +12,11 @@ BENCH_PATTERN ?= BenchmarkDecodeScalar$$|BenchmarkDecodeScalarSub|BenchmarkDecod
 BENCH_BATCH_OUT ?= BENCH_3.json
 BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
 
-.PHONY: all build test race bench bench-batch bench-smoke fuzz-smoke conformance cover fmt vet
+# The scaled decode trajectory: decode-to-scale (1/2, 1/4, DC-only 1/8)
+# per scale, plus the scaled mixed-size batch workload.
+BENCH_SCALE_OUT ?= BENCH_4.json
+
+.PHONY: all build test race bench bench-batch bench-scale bench-smoke fuzz-smoke conformance cover fmt vet
 
 all: build
 
@@ -44,6 +48,18 @@ bench-batch:
 	go run ./cmd/benchjson < bench_batch.txt > $(BENCH_BATCH_OUT)
 	@echo "wrote $(BENCH_BATCH_OUT)"
 
+# bench-scale records the decode-to-scale trajectory: the single-image
+# scaled decode per scale (div1 is the full-size baseline the speedup
+# table in README.md is computed from) and the scaled mixed-size batch
+# bench, parsed into $(BENCH_SCALE_OUT).
+bench-scale:
+	go test ./internal/jpegcodec/ -run='^$$' -bench='BenchmarkDecodeScaled' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench_scale.txt
+	go test . -run='^$$' -bench='BenchmarkBatchScaledMixedSizes' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee -a bench_scale.txt
+	go run ./cmd/benchjson < bench_scale.txt > $(BENCH_SCALE_OUT)
+	@echo "wrote $(BENCH_SCALE_OUT)"
+
 # bench-smoke compiles and runs every benchmark in the repo exactly once
 # (CI uses it so benchmarks can never silently rot).
 bench-smoke:
@@ -56,10 +72,13 @@ fuzz-smoke:
 	go test ./internal/huffman/ -fuzz=FuzzDecodeArbitraryBits -fuzztime=10s
 	go test ./internal/huffman/ -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzProgressiveDecode -fuzztime=10s
+	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzScaledDecode -fuzztime=10s
 
 # conformance runs the differential harness: the generated baseline +
 # progressive corpus through all modes, both schedulers and worker
-# counts 1-8, and plane-level comparison against the stdlib decoder.
+# counts 1-8 — at full size and at every decode scale (byte-identity
+# against the scalar scaled reference) — and plane-level comparison
+# against the stdlib decoder.
 conformance:
 	go test ./internal/conformance/ -v -run 'TestConformance'
 

@@ -590,6 +590,45 @@ func BenchmarkBatchMixedSizes(b *testing.B) {
 	b.Run("bands", func(b *testing.B) { benchBatchMixed(b, hetjpeg.SchedulerBands) })
 }
 
+// benchBatchMixedScaled runs the mixed-size corpus through the band
+// scheduler at a decode scale — the gallery thumbnailing workload. The
+// MPpx/s metric stays in *coded* megapixels so rows are comparable
+// across scales (same input work, shrinking output work).
+func benchBatchMixedScaled(b *testing.B, scale hetjpeg.Scale) {
+	stream := mixedBatchCorpus(b)
+	opts := hetjpeg.BatchOptions{
+		Spec:    platform.GTX560(),
+		Workers: runtime.GOMAXPROCS(0),
+		Scale:   scale,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hetjpeg.DecodeBatch(stream, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("%d images failed", res.Failed)
+		}
+		for _, ir := range res.Images {
+			ir.Res.Release()
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(len(stream)*b.N)/secs, "imgs/s")
+	b.ReportMetric(mixedBatchPix*float64(b.N)/secs, "MPpx/s")
+}
+
+// BenchmarkBatchScaledMixedSizes tracks the scaled batch trajectory
+// (BENCH_4.json): the same mixed-size corpus decoded to every scale
+// through the pipelined band scheduler with per-scale calibration.
+func BenchmarkBatchScaledMixedSizes(b *testing.B) {
+	for _, scale := range []hetjpeg.Scale{hetjpeg.Scale1, hetjpeg.Scale2, hetjpeg.Scale4, hetjpeg.Scale8} {
+		b.Run(fmt.Sprintf("div%d", scale.Denominator()), func(b *testing.B) { benchBatchMixedScaled(b, scale) })
+	}
+}
+
 // Steady-state allocation: the slab pools should keep per-decode
 // allocations flat when results are released back.
 func BenchmarkDecodeSteadyStateAllocs(b *testing.B) {

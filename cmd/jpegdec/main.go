@@ -29,6 +29,7 @@ func main() {
 	in := flag.String("in", "", "input JPEG file (or pass files as arguments)")
 	out := flag.String("out", "", "output PNG file (optional, single input only)")
 	modeName := flag.String("mode", "pps", "auto|sequential|simd|gpu|pipeline|sps|pps")
+	scaleName := flag.String("scale", "1", "decode scale: 1|1/2|1/4|1/8 (scaled IDCT, not post-shrink)")
 	schedName := flag.String("scheduler", "bands", "batch wall-clock engine: bands|perimage")
 	platformName := flag.String("platform", "GTX 560", `"GT 430", "GTX 560" or "GTX 680"`)
 	modelPath := flag.String("model", "", "performance model JSON (default: train in-process)")
@@ -59,6 +60,10 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown scheduler %q", *schedName)
 	}
+	scale, ok := hetjpeg.ParseScale(*scaleName)
+	if !ok {
+		log.Fatalf("unknown scale %q (want 1, 1/2, 1/4 or 1/8)", *scaleName)
+	}
 
 	var model *hetjpeg.Model
 	var err error
@@ -78,7 +83,7 @@ func main() {
 	mode = mode.Resolve(model)
 
 	if len(files) > 1 {
-		decodeBatch(files, spec, model, mode, sched, *workers)
+		decodeBatch(files, spec, model, mode, sched, scale, *workers)
 		return
 	}
 
@@ -92,6 +97,7 @@ func main() {
 		Model:        model,
 		ChunkRows:    *chunk,
 		SplitKernels: *split,
+		Scale:        scale,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,6 +106,9 @@ func main() {
 	coding := "baseline"
 	if res.Stats.EntropyScans > 1 {
 		coding = fmt.Sprintf("progressive, %d scans", res.Stats.EntropyScans)
+	}
+	if res.Stats.Scale > 1 {
+		coding += fmt.Sprintf(", scale 1/%d", res.Stats.Scale)
 	}
 	fmt.Printf("decoded %dx%d (%s, %s) with %s on %s\n",
 		res.Image.W, res.Image.H, res.Frame.Sub, coding, mode, spec)
@@ -136,7 +145,7 @@ func main() {
 // decodeBatch decodes several files as one concurrent batch. A file
 // that fails to read or decode is reported in its slot; the others
 // still decode.
-func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, mode core.Mode, sched hetjpeg.BatchScheduler, workers int) {
+func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, mode core.Mode, sched hetjpeg.BatchScheduler, scale hetjpeg.Scale, workers int) {
 	datas := make([][]byte, len(files))
 	readErr := make([]error, len(files))
 	for i, name := range files {
@@ -144,7 +153,7 @@ func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, m
 	}
 	start := time.Now()
 	res, err := hetjpeg.DecodeBatch(datas, hetjpeg.BatchOptions{
-		Spec: spec, Model: model, Mode: mode, Scheduler: sched, Workers: workers,
+		Spec: spec, Model: model, Mode: mode, Scheduler: sched, Workers: workers, Scale: scale,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -2,7 +2,8 @@
 // inside out — an image service that decodes uploaded JPEGs with the
 // heterogeneous decoder and reports its scheduling decisions. POST a
 // JPEG to /decode to get the decoded dimensions, the CPU/GPU split and
-// the virtual schedule; POST a multipart form of JPEGs to /batch to
+// the virtual schedule (?scale=1/2, 1/4 or 1/8 decodes to a thumbnail
+// through the scaled IDCT); POST a multipart form of JPEGs to /batch to
 // decode them concurrently (the pipelined band scheduler by default;
 // ?scheduler=perimage selects the whole-image pool) and get the
 // cross-image pipelining gain; GET /platforms lists the simulated
@@ -35,10 +36,12 @@ type server struct {
 }
 
 type decodeReply struct {
-	Width         int     `json:"width,omitempty"`
-	Height        int     `json:"height,omitempty"`
-	Mode          string  `json:"mode"`
-	Platform      string  `json:"platform"`
+	Width    int    `json:"width,omitempty"`
+	Height   int    `json:"height,omitempty"`
+	Mode     string `json:"mode"`
+	Platform string `json:"platform"`
+	// Scale is the decode scale that ran ("1", "1/2", "1/4", "1/8").
+	Scale         string  `json:"scale"`
 	VirtualMs     float64 `json:"virtualMs"`
 	HuffmanMs     float64 `json:"huffmanMs"`
 	GPUMCURows    int     `json:"gpuMcuRows"`
@@ -78,6 +81,19 @@ func schedulerFromQuery(r *http.Request) (hetjpeg.BatchScheduler, error) {
 	return sched, nil
 }
 
+// scaleFromQuery selects decode-to-scale: ?scale=1/2, 1/4 or 1/8
+// reconstructs directly at the reduced resolution (the decode-to-fit
+// path a thumbnailer or gallery wants). An unknown value is a request
+// error (HTTP 400), reported before any decoding starts.
+func scaleFromQuery(r *http.Request) (hetjpeg.Scale, error) {
+	q := r.URL.Query().Get("scale")
+	scale, ok := hetjpeg.ParseScale(q)
+	if !ok {
+		return 0, fmt.Errorf("unknown scale %q (want 1, 1/2, 1/4 or 1/8)", q)
+	}
+	return scale, nil
+}
+
 func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a JPEG body", http.StatusMethodNotAllowed)
@@ -93,12 +109,17 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	scale, err := scaleFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	start := time.Now()
 	// Resolve ModeAuto up front so the reply reports the mode that
 	// actually ran, not the sentinel.
 	mode = mode.Resolve(s.model)
-	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model})
-	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name}
+	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model, Scale: scale})
+	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name, Scale: scale.String()}
 	if err != nil {
 		reply.Error = err.Error()
 		if errors.Is(err, hetjpeg.ErrUnsupported) {
@@ -142,6 +163,7 @@ type batchImageReply struct {
 
 type batchReply struct {
 	Mode        string            `json:"mode"`
+	Scale       string            `json:"scale"`
 	Platform    string            `json:"platform"`
 	Workers     int               `json:"workers"`
 	Images      []batchImageReply `json:"images"`
@@ -165,6 +187,11 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sched, err := schedulerFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	scale, err := scaleFromQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -217,7 +244,7 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mode = mode.Resolve(s.model) // report the mode that actually runs
 	res, err := hetjpeg.DecodeBatchContext(r.Context(), datas, hetjpeg.BatchOptions{
-		Spec: s.spec, Model: s.model, Mode: mode, Scheduler: sched, Workers: s.workers,
+		Spec: s.spec, Model: s.model, Mode: mode, Scheduler: sched, Workers: s.workers, Scale: scale,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -225,6 +252,7 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 	}
 	reply := batchReply{
 		Mode:        mode.String(),
+		Scale:       scale.String(),
 		Platform:    s.spec.Name,
 		Workers:     s.workers,
 		Failed:      res.Failed,

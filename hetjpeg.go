@@ -128,6 +128,32 @@ type Image = jpegcodec.RGBImage
 // like any baseline image.
 var ErrUnsupported = jfif.ErrUnsupported
 
+// Scale selects decode-to-scale: Options.Scale (and BatchOptions.Scale)
+// reconstructs the image directly at 1/2, 1/4 or 1/8 of its coded
+// resolution through scaled inverse transforms — the thumbnail/fit-to-
+// screen workload — never by decoding full-size and shrinking. The zero
+// value decodes full size. Every mode produces byte-identical scaled
+// pixels.
+type Scale = jpegcodec.Scale
+
+// The supported decode scales.
+const (
+	Scale1 = jpegcodec.Scale1
+	Scale2 = jpegcodec.Scale2
+	Scale4 = jpegcodec.Scale4
+	Scale8 = jpegcodec.Scale8
+)
+
+// ErrUnsupportedScale marks a decode request whose Scale is not one of
+// {1, 1/2, 1/4, 1/8}; check it with errors.Is.
+var ErrUnsupportedScale = jpegcodec.ErrUnsupportedScale
+
+// ParseScale maps a scale name ("1", "1/2", "1/4", "1/8", or the bare
+// denominators "2", "4", "8"; "" means full size) to its Scale; ok is
+// false for unknown names. Frontends should parse with this so the name
+// set has one authoritative site.
+func ParseScale(name string) (Scale, bool) { return jpegcodec.ParseScale(name) }
+
 // Decode decompresses a baseline or progressive JPEG stream under the
 // given mode.
 func Decode(data []byte, opts Options) (*Result, error) { return core.Decode(data, opts) }
@@ -135,6 +161,12 @@ func Decode(data []byte, opts Options) (*Result, error) { return core.Decode(dat
 // DecodeRGB is the convenience path: a plain single-threaded decode with
 // no platform simulation.
 func DecodeRGB(data []byte) (*Image, error) { return jpegcodec.DecodeScalar(data) }
+
+// DecodeRGBScaled is DecodeRGB at a decode scale (the scalar scaled
+// reference path).
+func DecodeRGBScaled(data []byte, scale Scale) (*Image, error) {
+	return jpegcodec.DecodeScalarScaled(data, scale)
+}
 
 // Subsampling selects the encoder's chroma layout.
 type Subsampling = jfif.Subsampling

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"hetjpeg/internal/core"
+	"hetjpeg/internal/jpegcodec"
 	"hetjpeg/internal/perfmodel"
 	"hetjpeg/internal/platform"
 	"hetjpeg/internal/sim"
@@ -73,6 +74,12 @@ type Options struct {
 	// holds at most one submitted-but-unadmitted image's input bytes,
 	// so peak input retention is MaxInFlight+1 images.
 	MaxInFlight int
+	// Scale selects decode-to-scale for the batch's images (the
+	// gallery/thumbnailer workload); Executor.SubmitScaled overrides it
+	// per image. The zero value decodes full size. The band scheduler's
+	// calibrator learns a separate back-phase rate per scale, so
+	// mixed-scale executors stay accurately sized.
+	Scale jpegcodec.Scale
 }
 
 func (o Options) mode() core.Mode { return o.Mode.Resolve(o.Model) }
@@ -132,6 +139,8 @@ type job struct {
 	ctx   context.Context
 	index int
 	data  []byte
+	// scale is the decode scale for this image (already validated).
+	scale jpegcodec.Scale
 }
 
 // Executor is a concurrent batch-decode service: submitted images are
@@ -160,6 +169,12 @@ type Executor struct {
 func NewExecutor(opts Options) (*Executor, error) {
 	if opts.Spec == nil {
 		return nil, fmt.Errorf("batch: Spec is required")
+	}
+	if err := opts.Scale.Validate(); err != nil {
+		// A bad scale is a configuration problem like a missing Spec:
+		// fail the batch up front instead of reporting it as N
+		// per-image decode failures.
+		return nil, fmt.Errorf("batch: %w", err)
 	}
 	n := opts.workers()
 	e := &Executor{
@@ -206,6 +221,7 @@ func (e *Executor) decodeOne(j job) ImageResult {
 		Spec:          e.opts.Spec,
 		Model:         e.opts.Model,
 		DeviceWorkers: e.devWorkers,
+		Scale:         j.scale,
 	})
 	if err != nil {
 		return ImageResult{Index: j.index, Err: fmt.Errorf("batch: image %d: %w", j.index, err)}
@@ -213,15 +229,28 @@ func (e *Executor) decodeOne(j job) ImageResult {
 	return ImageResult{Index: j.index, Res: res}
 }
 
-// Submit enqueues one image. It blocks while the scheduler's intake is
-// full — the band scheduler's calibrated in-flight image budget (at
-// most Options.MaxInFlight), or, under SchedulerPerImage, all workers
-// busy with the result buffer full — and returns ctx.Err() if ctx is
-// cancelled first. Index is echoed in the corresponding ImageResult.
-// Submit must not be called after Close.
+// Submit enqueues one image at the executor's configured scale. It
+// blocks while the scheduler's intake is full — the band scheduler's
+// calibrated in-flight image budget (at most Options.MaxInFlight), or,
+// under SchedulerPerImage, all workers busy with the result buffer full
+// — and returns ctx.Err() if ctx is cancelled first. Index is echoed in
+// the corresponding ImageResult. Submit must not be called after Close.
 func (e *Executor) Submit(ctx context.Context, index int, data []byte) error {
+	return e.SubmitScaled(ctx, index, data, e.opts.Scale)
+}
+
+// SubmitScaled is Submit with a per-image decode scale, overriding the
+// executor's Options.Scale for this image only — a long-lived service
+// decodes thumbnail and full-size requests through one executor, and
+// the band scheduler's calibrator keeps a separate back-phase rate per
+// scale so mixed traffic stays accurately sized. An invalid scale fails
+// immediately with ErrUnsupportedScale.
+func (e *Executor) SubmitScaled(ctx context.Context, index int, data []byte, scale jpegcodec.Scale) error {
+	if err := scale.Validate(); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
 	select {
-	case e.jobs <- job{ctx: ctx, index: index, data: data}:
+	case e.jobs <- job{ctx: ctx, index: index, data: data, scale: scale}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -1,0 +1,93 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/platform"
+)
+
+// TestInvalidScaleIsConfigError pins the contract that a bad
+// Options.Scale fails the batch up front (like a missing Spec), rather
+// than surfacing as per-image decode failures.
+func TestInvalidScaleIsConfigError(t *testing.T) {
+	_, err := Decode([][]byte{{0xFF}}, Options{Spec: platform.GTX560(), Scale: 3})
+	if !errors.Is(err, jpegcodec.ErrUnsupportedScale) {
+		t.Fatalf("err = %v, want ErrUnsupportedScale", err)
+	}
+	if _, err := NewExecutor(Options{Spec: platform.GTX560(), Scale: 5}); !errors.Is(err, jpegcodec.ErrUnsupportedScale) {
+		t.Fatalf("NewExecutor err = %v, want ErrUnsupportedScale", err)
+	}
+}
+
+// TestMixedScaleExecutor streams the same images at different scales
+// through one executor (both schedulers) and asserts every result is
+// byte-identical to its scale's scalar reference — the mixed
+// thumbnail/full traffic the per-scale calibrator exists for.
+func TestMixedScaleExecutor(t *testing.T) {
+	items, err := imagegen.SizeSweep(jfif.Sub420, 0.5, [][2]int{{200, 152}, {97, 75}}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := []jpegcodec.Scale{jpegcodec.Scale1, jpegcodec.Scale8, jpegcodec.Scale2, jpegcodec.Scale4}
+	type submission struct {
+		data  []byte
+		scale jpegcodec.Scale
+	}
+	var subs []submission
+	var refs []*jpegcodec.RGBImage
+	for round := 0; round < 2; round++ {
+		for i, it := range items {
+			sc := scales[(round*len(items)+i)%len(scales)]
+			subs = append(subs, submission{it.Data, sc})
+			ref, err := jpegcodec.DecodeScalarScaled(it.Data, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, ref)
+		}
+	}
+	for _, sched := range []Scheduler{SchedulerBands, SchedulerPerImage} {
+		ex, err := NewExecutor(Options{Spec: platform.GTX560(), Workers: 3, Scheduler: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bad per-submit scale fails fast without consuming a slot.
+		if err := ex.SubmitScaled(context.Background(), 99, subs[0].data, 7); !errors.Is(err, jpegcodec.ErrUnsupportedScale) {
+			t.Fatalf("SubmitScaled(7) err = %v", err)
+		}
+		go func() {
+			for i, s := range subs {
+				if err := ex.SubmitScaled(context.Background(), i, s.data, s.scale); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			ex.Close()
+		}()
+		got := make([]*ImageResult, len(subs))
+		for ir := range ex.Results() {
+			ir := ir
+			got[ir.Index] = &ir
+		}
+		for i := range subs {
+			name := fmt.Sprintf("sched%d image %d scale %v", sched, i, subs[i].scale)
+			if got[i] == nil || got[i].Err != nil {
+				t.Fatalf("%s: missing or failed: %+v", name, got[i])
+			}
+			if !bytes.Equal(got[i].Res.Image.Pix, refs[i].Pix) {
+				t.Errorf("%s: pixels differ from scalar scaled reference", name)
+			}
+			got[i].Res.Release()
+		}
+	}
+	for _, r := range refs {
+		r.Release()
+	}
+}

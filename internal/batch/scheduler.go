@@ -64,37 +64,47 @@ const (
 // calibrator is the online performance model: EWMA-corrected ns/MCU of
 // each stage, optionally seeded from the offline perfmodel fit.
 //
-// Entropy keeps two rates: a progressive image traverses its
+// Entropy keeps three rates: a progressive image traverses its
 // coefficient grid once per scan, so its entropy cost per MCU is a
-// multiple of the baseline rate. Folding both into one EWMA would make
-// a progressive burst inflate the baseline estimate (and vice versa),
-// skewing band sizing and in-flight depth for the other class; separate
-// rates keep the calibration honest under mixed traffic.
+// multiple of the baseline rate, while a DC-only (baseline 1/8-scale)
+// stream skips AC stores and runs cheaper than baseline. Folding the
+// classes into one EWMA would make a burst of one class skew band
+// sizing and in-flight depth for the others; separate rates keep the
+// calibration honest under mixed traffic. The back phase learns one
+// rate per decode scale (perfmodel.ScaledRates): a DC-only band is
+// orders of magnitude cheaper per MCU than a full-size band.
 type calibrator struct {
-	entPerMCU     perfmodel.OnlineRate // stage 1: baseline entropy ns per MCU
-	entPerMCUProg perfmodel.OnlineRate // stage 1: progressive (multi-scan) entropy ns per MCU
-	backPerMCU    perfmodel.OnlineRate // stage 2: back-phase ns per MCU
+	entPerMCU     perfmodel.OnlineRate  // stage 1: baseline entropy ns per MCU
+	entPerMCUProg perfmodel.OnlineRate  // stage 1: progressive (multi-scan) entropy ns per MCU
+	entPerMCUDC   perfmodel.OnlineRate  // stage 1: DC-only (baseline 1/8 scale) entropy ns per MCU
+	backPerMCU    perfmodel.ScaledRates // stage 2: back-phase ns per MCU, per decode scale
 	seeded        bool
 }
 
 // entropyRate returns the EWMA matching the image class.
-func (c *calibrator) entropyRate(progressive bool) *perfmodel.OnlineRate {
+func (c *calibrator) entropyRate(progressive, dcOnly bool) *perfmodel.OnlineRate {
 	if progressive {
 		return &c.entPerMCUProg
+	}
+	if dcOnly {
+		return &c.entPerMCUDC
 	}
 	return &c.entPerMCU
 }
 
-// seedFromModel primes the EWMAs from the fitted model's predictions
-// for the first image seen. The fit predicts the *simulated* platform,
-// not this host, so only the magnitude and entropy:back ratio are
-// borrowed for the first scheduling decisions; measurements correct
-// them immediately (the Repartition-style feedback step).
+// seedFromModel primes the EWMAs from the fitted model's predictions.
+// The fit predicts the *simulated* platform, not this host, so only the
+// magnitude and entropy:back ratio are borrowed for the first
+// scheduling decisions; measurements correct them immediately (the
+// Repartition-style feedback step). Entropy classes seed once from the
+// first image; each decode scale's back-phase rate seeds from the first
+// image seen at that scale, evaluating the fitted parallel-phase
+// polynomial at the scaled output geometry (Seed is a no-op once a
+// value exists).
 func (c *calibrator) seedFromModel(model *perfmodel.Model, f *jpegcodec.Frame, d float64) {
-	if c.seeded || model == nil {
+	if model == nil {
 		return
 	}
-	c.seeded = true
 	sub := f.Sub
 	if sub == jfif.SubGray {
 		sub = jfif.Sub444
@@ -105,35 +115,47 @@ func (c *calibrator) seedFromModel(model *perfmodel.Model, f *jpegcodec.Frame, d
 	}
 	mcus := float64(f.MCURows * f.MCUsPerRow)
 	w, h := float64(f.Img.Width), float64(f.Img.Height)
-	c.entPerMCU.Seed(sm.THuff(w, h, d) / mcus)
-	c.backPerMCU.Seed(sm.PCPUScalar.Eval(w, h) / mcus)
-	// The fit was trained on single-scan baseline images; a progressive
-	// image pays roughly one baseline-shaped pass per scan, so seed the
-	// multi-scan rate with that multiple until a measurement corrects it.
-	if f.Img.Progressive {
-		c.entPerMCUProg.Seed(c.entPerMCU.Value() * float64(len(f.Img.Scans)))
+	if !c.seeded {
+		c.seeded = true
+		c.entPerMCU.Seed(sm.THuff(w, h, d) / mcus)
+		// The fit was trained on single-scan baseline images; a progressive
+		// image pays roughly one baseline-shaped pass per scan, and the
+		// DC-only entropy pass is the baseline pass minus its stores.
+		if f.Img.Progressive {
+			c.entPerMCUProg.Seed(c.entPerMCU.Value() * float64(len(f.Img.Scans)))
+		}
+		c.entPerMCUDC.Seed(c.entPerMCU.Value())
 	}
+	s := float64(f.Scale)
+	if s < 1 {
+		s = 1
+	}
+	c.backPerMCU.At(f.Scale).Seed(sm.PCPUScalar.Eval(w/s, h/s) / mcus)
 }
 
 // entropyEstimate is the effective entropy rate for in-flight sizing:
-// the maximum over the classes seen so far, so a mix of baseline and
-// progressive traffic keeps enough entropy streams open to feed the
-// band pool even when the slower class dominates.
+// the maximum over the classes seen so far, so a mix of baseline,
+// progressive and DC-only traffic keeps enough entropy streams open to
+// feed the band pool even when the slower class dominates.
 func (c *calibrator) entropyEstimate() float64 {
 	e := c.entPerMCU.Value()
 	if p := c.entPerMCUProg.Value(); p > e {
 		e = p
 	}
+	if dc := c.entPerMCUDC.Value(); dc > e {
+		e = dc
+	}
 	return e
 }
 
 // bandRows sizes one image's band tasks from the calibrated back-phase
-// rate: aim for bandTargetNs per band, but never coarser than one
-// band per worker (a lone straggler must still shred across the pool).
+// rate of its decode scale: aim for bandTargetNs per band, but never
+// coarser than one band per worker (a lone straggler must still shred
+// across the pool).
 func (c *calibrator) bandRows(f *jpegcodec.Frame, workers int) int {
 	rows := f.MCURows
 	br := 1
-	if per := c.backPerMCU.Value(); per > 0 {
+	if per := c.backPerMCU.At(f.Scale).Value(); per > 0 {
 		br = int(bandTargetNs/(per*float64(f.MCUsPerRow)) + 0.5)
 	} else if workers > 0 {
 		// Cold start: a few bands per worker.
@@ -159,7 +181,7 @@ func (c *calibrator) bandRows(f *jpegcodec.Frame, workers int) int {
 // slack, clamped to the memory bound.
 func (c *calibrator) inflightTarget(workers, maxInflight int) int {
 	t := minInflight + workers/2 // cold start
-	e, b := c.entropyEstimate(), c.backPerMCU.Value()
+	e, b := c.entropyEstimate(), c.backPerMCU.Max()
 	if e > 0 && b > 0 {
 		t = int(float64(workers)*e/(e+b)+0.5) + minInflight
 	}
@@ -304,7 +326,7 @@ func (s *bandScheduler) runEntropy(id int, j job) {
 	f := img.prep.Frame()
 	mcus := f.MCURows * f.MCUsPerRow
 	s.cal.seedFromModel(s.opts.Model, f, f.Img.EntropyDensity())
-	s.cal.entropyRate(f.Img.Progressive).Observe(entNs / float64(mcus))
+	s.cal.entropyRate(f.Img.Progressive, f.DCOnly()).Observe(entNs / float64(mcus))
 	s.target = s.cal.inflightTarget(s.workers, s.maxInflight)
 	img.plan = jpegcodec.PlanBands(f, 0, f.MCURows, s.cal.bandRows(f, s.workers))
 	img.remaining = img.plan.Bands()
@@ -332,6 +354,7 @@ func (s *bandScheduler) entropyStage(j job) (*flightImage, float64, ImageResult)
 		Mode:  s.opts.Mode,
 		Spec:  s.opts.Spec,
 		Model: s.opts.Model,
+		Scale: j.scale,
 	})
 	if err != nil {
 		return fail(err)
@@ -372,8 +395,9 @@ func (s *bandScheduler) runBand(t bandTask, scratch *jpegcodec.ConvertScratch) {
 		img.err = bandErr
 	}
 	if bandNs > 0 {
-		mcus := img.plan.BandMCURows(t.band) * img.prep.Frame().MCUsPerRow
-		s.cal.backPerMCU.Observe(bandNs / float64(mcus))
+		f := img.prep.Frame()
+		mcus := img.plan.BandMCURows(t.band) * f.MCUsPerRow
+		s.cal.backPerMCU.At(f.Scale).Observe(bandNs / float64(mcus))
 	}
 	img.remaining--
 	if img.remaining == 0 {

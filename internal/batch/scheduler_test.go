@@ -215,14 +215,14 @@ func TestCalibratorBounds(t *testing.T) {
 		t.Fatalf("cold bandRows = %d", br)
 	}
 	// A very slow back phase wants tiny bands.
-	c.backPerMCU.Observe(1e6)
+	c.backPerMCU.At(f.Scale).Observe(1e6)
 	if br := c.bandRows(f, 4); br != 1 {
 		t.Errorf("slow back phase bandRows = %d, want 1", br)
 	}
 	// A very fast back phase wants coarse bands, but a lone image must
 	// still split across all workers.
 	c = calibrator{}
-	c.backPerMCU.Observe(1)
+	c.backPerMCU.At(f.Scale).Observe(1)
 	workers := 4
 	lim := (f.MCURows + workers - 1) / workers
 	if br := c.bandRows(f, workers); br != lim {

@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hetjpeg/internal/batch"
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jpegcodec"
+)
+
+// Scaled conformance: decode-to-scale output must be byte-identical to
+// the scalar scaled reference (DecodeScalarScaled) across every
+// execution mode, both batch schedulers and all worker counts, for the
+// full baseline + progressive corpus. Scale 1 rides along to pin the
+// scaled plumbing's identity with the original full-size path.
+
+var conformScales = []jpegcodec.Scale{jpegcodec.Scale1, jpegcodec.Scale2, jpegcodec.Scale4, jpegcodec.Scale8}
+
+// scaledRef decodes one corpus item with the single-threaded scalar
+// scaled reference.
+func scaledRef(t *testing.T, it imagegen.Item, scale jpegcodec.Scale) *jpegcodec.RGBImage {
+	t.Helper()
+	img, err := jpegcodec.DecodeScalarScaled(it.Data, scale)
+	if err != nil {
+		t.Fatalf("%s scale %v: scalar reference: %v", it.Name, scale, err)
+	}
+	return img
+}
+
+// TestConformanceScaledModesIdentical decodes every corpus file at
+// every scale under all six execution modes (and several CPU worker
+// counts) and asserts the RGB output is byte-identical to the scalar
+// scaled reference.
+func TestConformanceScaledModesIdentical(t *testing.T) {
+	m := trainedModel(t)
+	scales := conformScales
+	workerCounts := []int{0, 3}
+	if testing.Short() {
+		scales = []jpegcodec.Scale{jpegcodec.Scale2, jpegcodec.Scale8}
+		workerCounts = []int{0}
+	}
+	for _, it := range corpus(t) {
+		it := it
+		t.Run(it.Name, func(t *testing.T) {
+			for _, scale := range scales {
+				ref := scaledRef(t, it, scale)
+				for _, mode := range core.AllModes() {
+					for _, cw := range workerCounts {
+						res, err := core.Decode(it.Data, core.Options{
+							Mode:       mode,
+							Spec:       conformSpec,
+							Model:      m,
+							CPUWorkers: cw,
+							Scale:      scale,
+						})
+						if err != nil {
+							t.Fatalf("scale %v mode %v workers %d: %v", scale, mode, cw, err)
+						}
+						if !bytes.Equal(res.Image.Pix, ref.Pix) {
+							t.Errorf("scale %v mode %v workers %d: pixels differ from scalar scaled reference%s",
+								scale, mode, cw, firstPixelDiff(res.Image, ref))
+						}
+						if res.Stats.Scale != scale.Denominator() {
+							t.Errorf("scale %v mode %v: Stats.Scale = %d", scale, mode, res.Stats.Scale)
+						}
+						res.Release()
+					}
+				}
+				ref.Release()
+			}
+		})
+	}
+}
+
+// TestConformanceScaledSchedulersWorkers decodes the whole corpus as
+// batches at every scale through both wall-clock schedulers and worker
+// counts 1-8, asserting every image matches the scalar scaled
+// reference.
+func TestConformanceScaledSchedulersWorkers(t *testing.T) {
+	items := corpus(t)
+	datas := make([][]byte, len(items))
+	for i, it := range items {
+		datas[i] = it.Data
+	}
+	scales := conformScales
+	workerCounts := []int{1, 2, 3, 5, 8}
+	if testing.Short() {
+		scales = []jpegcodec.Scale{jpegcodec.Scale8}
+		workerCounts = []int{1, 4}
+	}
+	for _, scale := range scales {
+		refs := make([]*jpegcodec.RGBImage, len(items))
+		for i, it := range items {
+			refs[i] = scaledRef(t, it, scale)
+		}
+		for _, sched := range []batch.Scheduler{batch.SchedulerBands, batch.SchedulerPerImage} {
+			for _, workers := range workerCounts {
+				name := fmt.Sprintf("scale%v-sched%d-w%d", scale, sched, workers)
+				res, err := batch.Decode(datas, batch.Options{
+					Spec:      conformSpec,
+					Workers:   workers,
+					Scheduler: sched,
+					Scale:     scale,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i, ir := range res.Images {
+					if ir.Err != nil {
+						t.Errorf("%s: image %s failed: %v", name, items[i].Name, ir.Err)
+						continue
+					}
+					if !bytes.Equal(ir.Res.Image.Pix, refs[i].Pix) {
+						t.Errorf("%s: image %s differs from scalar scaled reference%s",
+							name, items[i].Name, firstPixelDiff(ir.Res.Image, refs[i]))
+					}
+					ir.Res.Release()
+				}
+			}
+		}
+		for _, r := range refs {
+			r.Release()
+		}
+	}
+}

@@ -107,6 +107,11 @@ type Options struct {
 	// decodes do not contend on N×GOMAXPROCS device workers. Virtual
 	// costs and pixels are unaffected; only host wall-clock changes.
 	DeviceWorkers int
+	// Scale selects decode-to-scale (1/2, 1/4, 1/8): the back phase
+	// reconstructs directly at the reduced resolution through scaled
+	// IDCT kernels, in every mode. The zero value decodes full size;
+	// invalid values fail with jpegcodec.ErrUnsupportedScale.
+	Scale jpegcodec.Scale
 }
 
 // Stats reports scheduling decisions.
@@ -122,6 +127,8 @@ type Stats struct {
 	// EntropyScans counts the entropy-coded scans: 1 for baseline,
 	// the scan-script length for progressive images.
 	EntropyScans int
+	// Scale is the decode scale denominator that ran (1, 2, 4 or 8).
+	Scale int
 }
 
 // Result is a finished decode.
@@ -243,25 +250,26 @@ func regionBlocks(f *jpegcodec.Frame, m0, m1 int) int {
 	return n
 }
 
-// gpuRowBound maps a GPU-side chunk boundary at MCU row m to the pixel
-// row where its color conversion stops. Interior 4:2:0 boundaries shift
-// up one row: that output row's vertical filter needs the next chunk's
-// chroma samples, so it is deferred to the consumer of the boundary (the
-// next chunk or the CPU tile).
+// gpuRowBound maps a GPU-side chunk boundary at MCU row m to the output
+// pixel row where its color conversion stops. Interior 4:2:0 boundaries
+// shift up one row: that output row's vertical filter needs the next
+// chunk's chroma samples, so it is deferred to the consumer of the
+// boundary (the next chunk or the CPU tile). Units are output rows
+// (MCUOutH per MCU row), so the rule holds at every decode scale.
 func gpuRowBound(f *jpegcodec.Frame, m int, isEnd bool) int {
 	if m <= 0 {
 		return 0
 	}
 	if m >= f.MCURows {
-		return f.Img.Height
+		return f.OutH
 	}
-	y := m * f.MCUHeight
+	y := m * f.MCUOutH
 	if f.Sub == jfif.Sub420 {
 		y--
 	}
 	_ = isEnd
-	if y > f.Img.Height {
-		y = f.Img.Height
+	if y > f.OutH {
+		y = f.OutH
 	}
 	return y
 }

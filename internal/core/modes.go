@@ -35,9 +35,9 @@ func (st *decodeState) runGPU(pipelined bool) error {
 	f := st.f
 	var chunks []*gpuChunk
 	if pipelined {
-		chunks = st.makeChunks(f.MCURows, st.chunkRows(), f.Img.Height)
+		chunks = st.makeChunks(f.MCURows, st.chunkRows(), f.OutH)
 	} else {
-		chunks = st.makeChunks(f.MCURows, f.MCURows, f.Img.Height)
+		chunks = st.makeChunks(f.MCURows, f.MCURows, f.OutH)
 	}
 	if st.virtual() {
 		st.fillChunkPlans(chunks)
@@ -101,6 +101,11 @@ func (st *decodeState) runPartitioned(pps bool) error {
 		MCURowPix: f.MCUHeight,
 		Model:     sm,
 		ChunkRows: st.chunkRows(),
+		// The balance equations keep working in coded pixel rows (the
+		// entropy side is scale-invariant), but the parallel-phase
+		// polynomials are evaluated at the scaled output geometry, where
+		// the back-phase work actually happens.
+		Scale: f.Scale,
 	}
 
 	var xMCU int // CPU MCU rows

@@ -35,7 +35,7 @@ func Prepare(data []byte, opts Options) (*Prepared, error) {
 		return nil, errors.New("core: Options.Spec is required")
 	}
 	opts.Mode = opts.Mode.Resolve(opts.Model)
-	f, ed, err := jpegcodec.PrepareDecode(data)
+	f, ed, err := jpegcodec.PrepareDecodeScaled(data, opts.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func Prepare(data []byte, opts Options) (*Prepared, error) {
 		opts: opts,
 		f:    f,
 		ed:   ed,
-		out:  jpegcodec.NewRGBImage(f.Img.Width, f.Img.Height),
+		out:  jpegcodec.NewRGBImage(f.OutW, f.OutH),
 		d:    f.Img.EntropyDensity(),
 	}
 	return &Prepared{st: st}, nil
@@ -130,6 +130,7 @@ func (p *Prepared) finish(skipReal bool) (*Result, error) {
 	st.res.Image = st.out
 	st.res.Frame = st.f
 	st.res.Stats.MCURows = st.f.MCURows
+	st.res.Stats.Scale = st.f.Scale
 	st.res.Stats.EntropyScans = 1
 	if st.f.Img.Progressive {
 		st.res.Stats.EntropyScans = len(st.f.Img.Scans)

@@ -1,11 +1,23 @@
 package core
 
 import (
+	"hetjpeg/internal/dct"
 	"hetjpeg/internal/jfif"
 	"hetjpeg/internal/jpegcodec"
 	"hetjpeg/internal/platform"
 	"hetjpeg/internal/sim"
 )
+
+// idctCostFactor scales the per-block CPU IDCT cost for decode-to-scale:
+// the scaled transforms do a fraction of the full kernel's arithmetic
+// (the same ratio the device cost model uses).
+func idctCostFactor(f *jpegcodec.Frame) float64 {
+	bp := f.BlockPixels()
+	if bp == 8 {
+		return 1
+	}
+	return dct.ScaledOpsPerBlock(bp) / dct.ScaledOpsPerBlock(8)
+}
 
 // cpuTile describes the CPU share of a partitioned decode: MCU rows
 // [s, MCURows) plus the pixel rows it color-converts (which start one row
@@ -41,7 +53,7 @@ func (t cpuTile) exec(f *jpegcodec.Frame, out *jpegcodec.RGBImage) {
 			jpegcodec.IDCTBlockRows(f, c, t.s-1, t.s)
 		}
 	}
-	jpegcodec.ColorConvertRange(f, t.yStart, f.Img.Height, out)
+	jpegcodec.ColorConvertRange(f, t.yStart, f.OutH, out)
 }
 
 // addTasks appends the tile's virtual stage costs (SIMD path) to the CPU
@@ -59,9 +71,9 @@ func (t cpuTile) addTasks(tl *sim.Timeline, f *jpegcodec.Frame, spec *platform.S
 	if f.Sub == jfif.Sub420 && t.s > 0 {
 		blocks += f.Planes[0].BlocksPerRow + 2*f.Planes[1].BlocksPerRow
 	}
-	rows := f.Img.Height - t.yStart
-	pixels := rows * f.Img.Width
-	tl.Add(sim.ResCPU, sim.KindIDCT, "cpu idct", float64(blocks)*c.IDCTNsPerBlock)
+	rows := f.OutH - t.yStart
+	pixels := rows * f.OutW
+	tl.Add(sim.ResCPU, sim.KindIDCT, "cpu idct", float64(blocks)*c.IDCTNsPerBlock*idctCostFactor(f))
 	if f.Sub == jfif.Sub422 || f.Sub == jfif.Sub420 {
 		tl.Add(sim.ResCPU, sim.KindUpsample, "cpu upsample", float64(pixels)*c.UpsampleNsPerPix)
 	}
@@ -77,9 +89,9 @@ func addWholeImageCPUTasks(tl *sim.Timeline, f *jpegcodec.Frame, spec *platform.
 		c = spec.CPUSIMD
 	}
 	blocks := regionBlocks(f, 0, f.MCURows)
-	rows := f.Img.Height
-	pixels := rows * f.Img.Width
-	tl.Add(sim.ResCPU, sim.KindIDCT, "cpu idct", float64(blocks)*c.IDCTNsPerBlock)
+	rows := f.OutH
+	pixels := rows * f.OutW
+	tl.Add(sim.ResCPU, sim.KindIDCT, "cpu idct", float64(blocks)*c.IDCTNsPerBlock*idctCostFactor(f))
 	if f.Sub == jfif.Sub422 || f.Sub == jfif.Sub420 {
 		tl.Add(sim.ResCPU, sim.KindUpsample, "cpu upsample", float64(pixels)*c.UpsampleNsPerPix)
 	}

@@ -28,6 +28,35 @@ func ForwardRef(in *[BlockSize]float64, out *[BlockSize]float64) {
 	}
 }
 
+// InverseScaledRef computes the textbook N-point inverse 2-D DCT of the
+// top-left NxN corner of an 8x8 coefficient block (N in {1, 2, 4}): the
+// scaled reconstruction the integer scaled kernels approximate. Output
+// is an NxN block of level-shifted (but unclamped) samples. The
+// normalization matches InverseRef exactly at the DC term, so a DC-only
+// block reconstructs to its DC mean at every N.
+func InverseScaledRef(in *[BlockSize]float64, n int, out []float64) {
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var sum float64
+			for v := 0; v < n; v++ {
+				for u := 0; u < n; u++ {
+					cu, cv := 1.0, 1.0
+					if u == 0 {
+						cu = 1 / math.Sqrt2
+					}
+					if v == 0 {
+						cv = 1 / math.Sqrt2
+					}
+					sum += cu * cv * in[v*8+u] *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/float64(2*n)) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/float64(2*n))
+				}
+			}
+			out[y*n+x] = 0.25*sum + 128
+		}
+	}
+}
+
 // InverseRef computes the textbook inverse 2-D DCT (Equations (1)-(2) of
 // the paper, applied in both dimensions) of an 8x8 coefficient block.
 // Output samples are level-shifted back to [0,255] but not clamped.

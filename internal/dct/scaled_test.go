@@ -1,0 +1,173 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scaledRefBytes runs dequant + InverseScaledRef + round/clamp — the
+// float oracle pipeline for the integer scaled kernels.
+func scaledRefBytes(blk []int32, q *[BlockSize]int32, n int, dst []byte, stride int) {
+	var in [BlockSize]float64
+	for i := 0; i < BlockSize; i++ {
+		in[i] = float64(blk[i] * q[i])
+	}
+	out := make([]float64, n*n)
+	InverseScaledRef(&in, n, out)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			v := math.Round(out[y*n+x])
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			dst[y*stride+x] = byte(v)
+		}
+	}
+}
+
+// scaledTolerance bounds the integer kernels' divergence from the float
+// oracle: one gray level of final-descale rounding plus the 13-bit
+// constant quantization of the 4-point passes (documented bound; the
+// 2x2 and 1x1 kernels are exact up to rounding).
+const scaledTolerance = 1
+
+// realisticBlock draws quantized coefficients and quantizers in the
+// range a standards-conforming encoder produces (dequantized values
+// within ~2^13), the domain the fixed-point error bound holds over.
+func realisticBlock(rng *rand.Rand) ([BlockSize]int32, [BlockSize]int32) {
+	var blk, q [BlockSize]int32
+	for i := range q {
+		q[i] = int32(1 + rng.Intn(64))
+	}
+	nz := 1 + rng.Intn(BlockSize)
+	for j := 0; j < nz; j++ {
+		i := rng.Intn(BlockSize)
+		blk[i] = int32(rng.Intn(2*1023+1) - 1023)
+		if mag := blk[i] * q[i]; mag > 8191 || mag < -8191 {
+			blk[i] = 8191 / q[i]
+		}
+	}
+	return blk, q
+}
+
+func assertScaledClose(t *testing.T, trial, n int, got, want []byte, stride int) {
+	t.Helper()
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			d := int(got[y*stride+x]) - int(want[y*stride+x])
+			if d < 0 {
+				d = -d
+			}
+			if d > scaledTolerance {
+				t.Fatalf("trial %d %dx%d: sample (%d,%d) = %d, float reference %d (tolerance %d)",
+					trial, n, n, y, x, got[y*stride+x], want[y*stride+x], scaledTolerance)
+			}
+		}
+	}
+}
+
+func TestInverseIntScaled4x4MatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const stride = 11
+	got := make([]byte, 4*stride)
+	want := make([]byte, 4*stride)
+	for trial := 0; trial < 2000; trial++ {
+		blk, q := realisticBlock(rng)
+		scaledRefBytes(blk[:], &q, 4, want, stride)
+		InverseIntScaled4x4DequantBytes(blk[:], &q, got, stride)
+		assertScaledClose(t, trial, 4, got, want, stride)
+	}
+}
+
+func TestInverseIntScaled2x2MatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const stride = 9
+	got := make([]byte, 2*stride)
+	want := make([]byte, 2*stride)
+	for trial := 0; trial < 2000; trial++ {
+		blk, q := realisticBlock(rng)
+		scaledRefBytes(blk[:], &q, 2, want, stride)
+		InverseIntScaled2x2DequantBytes(blk[:], &q, got, stride)
+		assertScaledClose(t, trial, 2, got, want, stride)
+	}
+}
+
+// TestInverseIntScaled1x1IsDCMean asserts the 1/8-scale kernel computes
+// exactly the per-block DC mean: round-half-up of the dequantized DC
+// over 8, level-shifted and clamped.
+func TestInverseIntScaled1x1IsDCMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var dst [1]byte
+	for trial := 0; trial < 5000; trial++ {
+		dc := int32(rng.Intn(1<<20) - 1<<19)
+		InverseIntScaled1x1Bytes(dc, dst[:])
+		want := (dc + 4) >> 3
+		want += 128
+		if want < 0 {
+			want = 0
+		}
+		if want > 255 {
+			want = 255
+		}
+		if int32(dst[0]) != want {
+			t.Fatalf("dc %d: got %d, want DC mean %d", dc, dst[0], want)
+		}
+	}
+}
+
+// TestScaledDCDispatchConsistent asserts the flat DC fast path produces
+// exactly the bytes the general scaled kernel produces for a DC-only
+// block at every block size — the NZ-watermark dispatch must never
+// change output.
+func TestScaledDCDispatchConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	const stride = 13
+	got := make([]byte, 4*stride)
+	want := make([]byte, 4*stride)
+	for trial := 0; trial < 3000; trial++ {
+		q := randQuant(rng)
+		var blk [BlockSize]int32
+		switch trial % 4 {
+		case 0:
+			blk[0] = int32(rng.Intn(2048)) - 1024
+		case 1:
+			blk[0] = 2047
+		case 2:
+			blk[0] = -2048
+		default:
+			blk[0] = int32(rng.Intn(64)) - 32
+		}
+		dc := blk[0] * q[0]
+
+		InverseIntScaled4x4DequantBytes(blk[:], &q, want, stride)
+		InverseIntScaledDCBytes(dc, 4, got, stride)
+		assertScaledClose(t, trial, 4, got, want, stride)
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if got[y*stride+x] != want[y*stride+x] {
+					t.Fatalf("trial %d 4x4 DC dispatch: (%d,%d) %d != %d", trial, y, x, got[y*stride+x], want[y*stride+x])
+				}
+			}
+		}
+
+		InverseIntScaled2x2DequantBytes(blk[:], &q, want, stride)
+		InverseIntScaledDCBytes(dc, 2, got, stride)
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				if got[y*stride+x] != want[y*stride+x] {
+					t.Fatalf("trial %d 2x2 DC dispatch: (%d,%d) %d != %d", trial, y, x, got[y*stride+x], want[y*stride+x])
+				}
+			}
+		}
+
+		InverseIntScaled1x1Bytes(dc, want)
+		InverseIntScaledDCBytes(dc, 1, got, stride)
+		if got[0] != want[0] {
+			t.Fatalf("trial %d 1x1 DC dispatch: %d != %d", trial, got[0], want[0])
+		}
+	}
+}

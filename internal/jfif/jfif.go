@@ -468,6 +468,11 @@ func (im *Image) parseSOS(seg []byte) error {
 	for i := 0; i < n; i++ {
 		id := seg[1+2*i]
 		sel := seg[2+2*i]
+		// T.81 B.2.3: table selectors are 2-bit (0..3); larger values
+		// would index past the four-table arrays.
+		if sel>>4 > 3 || sel&0xF > 3 {
+			return fmt.Errorf("jfif: SOS table selectors %d/%d out of range", sel>>4, sel&0xF)
+		}
 		found := false
 		for j := range im.Components {
 			if im.Components[j].ID == id {

@@ -101,9 +101,11 @@ func (bp *BandPlan) ExecBand(i int, out *RGBImage, s *ConvertScratch) {
 	s.ensure(f)
 	lo, _ := f.PixelRows(a, b)
 	if f.Sub == jfif.Sub420 && i > 0 {
-		// Rows 16a-1 (owned here by the bound shift) and 16a read the
-		// previous band's chroma: both become seam rows.
-		lo = a*f.MCUHeight + 1
+		// The boundary row below the seam (owned here by the bound
+		// shift) and the one above both read the previous band's chroma:
+		// both become seam rows. Units are output rows, so the same rule
+		// holds at every decode scale.
+		lo = a*f.mcuOutH() + 1
 	}
 	hi := bp.r1
 	if i < bp.Bands()-1 {
@@ -140,8 +142,8 @@ func (bp *BandPlan) FinishSeams(out *RGBImage, s *ConvertScratch) {
 	s.ensure(f)
 	for i := 1; i < bp.Bands(); i++ {
 		a := bp.starts[i]
-		lo := a*f.MCUHeight - 1
-		hi := a*f.MCUHeight + 1
+		lo := a*f.mcuOutH() - 1
+		hi := a*f.mcuOutH() + 1
 		if lo < bp.r0 {
 			lo = bp.r0
 		}

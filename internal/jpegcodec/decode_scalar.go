@@ -32,31 +32,69 @@ func IDCTRange(f *Frame, c, m0, m1 int) {
 
 // IDCTBlockRows transforms block rows [b0, b1) of component c. The
 // heterogeneous decoder uses it for the one-block-row halo the 4:2:0
-// vertical filter needs above a CPU partition.
+// vertical filter needs above a CPU partition. Under decode-to-scale it
+// dispatches the scaled kernels instead, writing BlockPix x BlockPix
+// samples per block; the NZ sparsity watermark keeps driving the
+// DC-flat fast path at every scale.
 func IDCTBlockRows(f *Frame, c, b0, b1 int) {
 	p := f.Planes[c]
 	q := f.QuantInt(c)
 	pw := p.PlaneW()
 	plane := f.Samples[c]
 	coeff := f.Coeff[c]
+	if f.DCOnly() {
+		// Baseline 1/8 scale: one stored DC per block, one sample out.
+		for by := b0; by < b1; by++ {
+			rowBase := by * pw
+			blkBase := by * p.BlocksPerRow
+			for bx := 0; bx < p.BlocksPerRow; bx++ {
+				dct.InverseIntScaled1x1Bytes(coeff[blkBase+bx]*q[0],
+					plane[rowBase+bx:rowBase+bx+1:rowBase+bx+1])
+			}
+		}
+		return
+	}
+	bp := f.BlockPix
+	if bp == 0 {
+		bp = 8
+	}
 	nz := f.NZ[c] // nil when the frame skipped entropy bookkeeping
 	for by := b0; by < b1; by++ {
-		rowBase := by * 8 * pw
+		rowBase := by * bp * pw
 		blkBase := by * p.BlocksPerRow
 		for bx := 0; bx < p.BlocksPerRow; bx++ {
 			blk := coeff[(blkBase+bx)*64 : (blkBase+bx)*64+64 : (blkBase+bx)*64+64]
-			dst := plane[rowBase+bx*8:]
+			dst := plane[rowBase+bx*bp:]
 			var n uint8
 			if nz != nil {
 				n = nz[blkBase+bx]
 			}
-			switch {
-			case n == 1:
-				dct.InverseIntDCBytes(blk[0]*q[0], dst, pw)
-			case n != 0 && n <= dct.SparseCutoff4x4+1:
-				dct.InverseInt4x4DequantBytes(blk, q, dst, pw)
-			default:
-				dct.InverseIntDequantBytes(blk, q, dst, pw)
+			switch bp {
+			case 8:
+				switch {
+				case n == 1:
+					dct.InverseIntDCBytes(blk[0]*q[0], dst, pw)
+				case n != 0 && n <= dct.SparseCutoff4x4+1:
+					dct.InverseInt4x4DequantBytes(blk, q, dst, pw)
+				default:
+					dct.InverseIntDequantBytes(blk, q, dst, pw)
+				}
+			case 4:
+				if n == 1 {
+					dct.InverseIntScaledDCBytes(blk[0]*q[0], 4, dst, pw)
+				} else {
+					dct.InverseIntScaled4x4DequantBytes(blk, q, dst, pw)
+				}
+			case 2:
+				if n == 1 {
+					dct.InverseIntScaledDCBytes(blk[0]*q[0], 2, dst, pw)
+				} else {
+					dct.InverseIntScaled2x2DequantBytes(blk, q, dst, pw)
+				}
+			case 1:
+				// Progressive 1/8 scale keeps full coefficient storage;
+				// reconstruction still reads only the DC term.
+				dct.InverseIntScaled1x1Bytes(blk[0]*q[0], dst[:1:1])
 			}
 		}
 	}
@@ -92,7 +130,7 @@ func ColorConvertRange(f *Frame, r0, r1 int, out *RGBImage) {
 }
 
 func colorConvertRange(f *Frame, r0, r1 int, out *RGBImage, cs *convertScratch) {
-	w := f.Img.Width
+	w := f.outW()
 	switch f.Sub {
 	case jfif.SubGray:
 		yPlane := f.Samples[0]
@@ -182,12 +220,12 @@ func upsample420Row(plane []byte, cpw, ch, y int, out []byte, blend []int) {
 // vertical triangle filter, so interior bounds shift up one row (the
 // same deferral rule the GPU chunk scheduler applies, gpuRowBound).
 func bandBound(f *Frame, m int) int {
-	y := m * f.MCUHeight
+	y := m * f.mcuOutH()
 	if f.Sub == jfif.Sub420 && m < f.MCURows {
 		y--
 	}
-	if y > f.Img.Height {
-		y = f.Img.Height
+	if y > f.outH() {
+		y = f.outH()
 	}
 	return y
 }
@@ -250,14 +288,21 @@ func ParallelPhaseScalarWorkers(f *Frame, m0, m1 int, out *RGBImage, workers int
 // DecodeScalar is the sequential reference decoder (the libjpeg analog):
 // entropy decode then the scalar parallel phase, whole image.
 func DecodeScalar(data []byte) (*RGBImage, error) {
-	f, ed, err := PrepareDecode(data)
+	return DecodeScalarScaled(data, Scale1)
+}
+
+// DecodeScalarScaled is the sequential reference decoder at a decode
+// scale — the scalar scaled reference every other execution path's
+// scaled output must match byte for byte.
+func DecodeScalarScaled(data []byte, scale Scale) (*RGBImage, error) {
+	f, ed, err := PrepareDecodeScaled(data, scale)
 	if err != nil {
 		return nil, err
 	}
 	if err := ed.DecodeAll(); err != nil {
 		return nil, err
 	}
-	out := NewRGBImage(f.Img.Width, f.Img.Height)
+	out := NewRGBImage(f.OutW, f.OutH)
 	ParallelPhaseScalar(f, 0, f.MCURows, out)
 	return out, nil
 }
@@ -265,6 +310,15 @@ func DecodeScalar(data []byte) (*RGBImage, error) {
 // PrepareDecode parses the stream and allocates whole-image buffers,
 // returning the frame and a chunked entropy decoder positioned at row 0.
 func PrepareDecode(data []byte) (*Frame, *EntropyDecoder, error) {
+	return PrepareDecodeScaled(data, Scale1)
+}
+
+// PrepareDecodeScaled is PrepareDecode at a decode scale; an invalid
+// scale fails with ErrUnsupportedScale before the stream is parsed.
+func PrepareDecodeScaled(data []byte, scale Scale) (*Frame, *EntropyDecoder, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
 	im, err := jfif.Parse(data)
 	if err != nil {
 		return nil, nil, err
@@ -274,7 +328,7 @@ func PrepareDecode(data []byte) (*Frame, *EntropyDecoder, error) {
 			return nil, nil, fmt.Errorf("jpegcodec: missing quant table %d", c.QuantSel)
 		}
 	}
-	f, err := NewFrame(im)
+	f, err := NewFrameScaled(im, scale)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -32,6 +32,12 @@ type EntropyDecoder struct {
 	prog *progDecoder // non-nil for progressive frames
 
 	discard bool
+	// dcOnly (baseline 1/8-scale frames) keeps only DC coefficients:
+	// AC symbols are still Huffman-decoded to advance the bitstream, but
+	// their value bits are skipped without EXTEND, de-zigzag stores or
+	// NZ bookkeeping — the whole-image coefficient buffer collapses to
+	// one int32 per block and entropy decoding sheds its store traffic.
+	dcOnly  bool
 	scratch [64]int32
 
 	mcusSinceRestart int
@@ -69,6 +75,7 @@ func newEntropyDecoder(f *Frame, discard bool) *EntropyDecoder {
 		BitsPerRow:      make([]int64, 0, f.MCURows),
 		blocksPerMCURow: blocks * f.MCUsPerRow,
 		discard:         discard,
+		dcOnly:          f.DCOnly(),
 	}
 	if f.Img.Progressive {
 		d.prog = newProgDecoder(f, discard)
@@ -209,6 +216,10 @@ func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffma
 	d.dc[comp] += diff
 	blk[0] = d.dc[comp]
 
+	if d.dcOnly {
+		return 0, d.skipACs(acTab)
+	}
+
 	// AC coefficients.
 	maxK := 0
 	for k := 1; k < 64; {
@@ -238,6 +249,38 @@ func (d *EntropyDecoder) decodeBlock(blk []int32, comp int, dcTab, acTab *huffma
 		k++
 	}
 	return maxK, nil
+}
+
+// skipACs walks one block's AC symbols without materializing the
+// coefficients: Huffman symbols are decoded and value bits consumed
+// (the bitstream position must advance exactly as in the storing path)
+// but EXTEND and the coefficient stores are skipped. Run/length errors
+// are still reported so corrupt streams fail identically at any scale.
+func (d *EntropyDecoder) skipACs(acTab *huffman.Table) error {
+	for k := 1; k < 64; {
+		rs, err := acTab.Decode(d.r)
+		if err != nil {
+			return err
+		}
+		r := int(rs >> 4)
+		s := uint(rs & 0xF)
+		if s == 0 {
+			if r == 15 { // ZRL: sixteen zeros
+				k += 16
+				continue
+			}
+			return nil // EOB
+		}
+		k += r
+		if k > 63 {
+			return fmt.Errorf("AC run overflows block (k=%d)", k)
+		}
+		if _, err := d.r.ReadBits(s); err != nil {
+			return err
+		}
+		k++
+	}
+	return nil
 }
 
 // extend implements the EXTEND procedure of T.81 F.2.2.1: map a magnitude

@@ -144,7 +144,7 @@ func decodeSegment(f *Frame, seg restartSegment, rowBits []int64) error {
 			return fmt.Errorf("jpegcodec: missing Huffman table for component %d", ci)
 		}
 	}
-	d := &EntropyDecoder{f: f, r: r, dc: dc}
+	d := &EntropyDecoder{f: f, r: r, dc: dc, dcOnly: f.DCOnly()}
 	bitPos := func() int64 { return int64(r.BytePos())*8 - int64(r.BitsBuffered()) }
 
 	for k := 0; k < seg.numMCU; k++ {

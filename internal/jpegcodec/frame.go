@@ -31,21 +31,34 @@ func putByteSlab(s []byte)       { bytePool.Put(s) }
 
 // PlaneInfo describes the padded sample geometry of one component.
 type PlaneInfo struct {
-	// CompW, CompH are the unpadded component dimensions in samples
-	// (image dimensions divided by the subsampling ratio, rounded up).
+	// CompW, CompH are the unpadded component dimensions in coded
+	// (full-resolution) samples — the block-grid semantics entropy
+	// decoding works in, independent of the decode scale.
 	CompW, CompH int
 	// BlocksPerRow, BlockRows are the padded block-grid dimensions;
 	// padding aligns every component to whole MCUs.
 	BlocksPerRow, BlockRows int
 	// H, V are the component's sampling factors.
 	H, V int
+	// BlockPix is the reconstructed samples per block edge: 8 for a
+	// full-size decode, 4/2/1 under decode-to-scale. The zero value
+	// means 8, so hand-built PlaneInfo literals keep working.
+	BlockPix int
 }
 
-// PlaneW returns the padded plane width in samples.
-func (p PlaneInfo) PlaneW() int { return p.BlocksPerRow * 8 }
+// blockPix maps the zero value to the full-size block edge.
+func (p PlaneInfo) blockPix() int {
+	if p.BlockPix == 0 {
+		return 8
+	}
+	return p.BlockPix
+}
 
-// PlaneH returns the padded plane height in samples.
-func (p PlaneInfo) PlaneH() int { return p.BlockRows * 8 }
+// PlaneW returns the padded plane width in reconstructed samples.
+func (p PlaneInfo) PlaneW() int { return p.BlocksPerRow * p.blockPix() }
+
+// PlaneH returns the padded plane height in reconstructed samples.
+func (p PlaneInfo) PlaneH() int { return p.BlockRows * p.blockPix() }
 
 // Blocks returns the total number of 8x8 blocks in the plane.
 func (p PlaneInfo) Blocks() int { return p.BlocksPerRow * p.BlockRows }
@@ -57,9 +70,26 @@ type Frame struct {
 	Img *jfif.Image
 	Sub jfif.Subsampling
 
-	// MCU grid.
-	MCUWidth, MCUHeight int // in luma pixels
+	// MCU grid (coded, full-resolution geometry: entropy decoding and
+	// scheduling always work in coded MCU rows regardless of scale).
+	MCUWidth, MCUHeight int // in coded luma pixels
 	MCUsPerRow, MCURows int
+
+	// Scale is the decode-to-scale denominator (1, 2, 4 or 8); the
+	// back phase reconstructs directly at the reduced resolution.
+	Scale int
+	// BlockPix is the reconstructed samples per block edge (8/Scale).
+	BlockPix int
+	// OutW, OutH are the reconstructed output dimensions:
+	// ceil(Width/Scale) x ceil(Height/Scale).
+	OutW, OutH int
+	// MCUOutH is the reconstructed pixel rows per MCU row
+	// (MCUHeight/Scale) — the unit all back-phase pixel-row math uses.
+	MCUOutH int
+	// CoeffStride is the int32 slots per block in Coeff: 64 normally, 1
+	// for DC-only frames (baseline Scale8 decodes store and read only
+	// the DC coefficient, collapsing the buffer 64x).
+	CoeffStride int
 
 	Planes []PlaneInfo
 
@@ -89,16 +119,27 @@ type Frame struct {
 // without allocating the whole-image coefficient and sample buffers.
 // Profiling uses it to summarize large corpora cheaply.
 func NewFrameGeometry(im *jfif.Image) (*Frame, error) {
-	f, err := newFrame(im, false)
+	f, err := newFrame(im, false, Scale1)
 	return f, err
 }
 
-// NewFrame builds the decode state for a parsed image.
+// NewFrame builds the decode state for a parsed image at full size.
 func NewFrame(im *jfif.Image) (*Frame, error) {
-	return newFrame(im, true)
+	return newFrame(im, true, Scale1)
 }
 
-func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
+// NewFrameScaled builds the decode state for a parsed image at the
+// given decode scale: sample planes and the output geometry shrink by
+// the scale denominator, and baseline Scale8 frames collapse the
+// coefficient buffer to DC-only storage.
+func NewFrameScaled(im *jfif.Image, scale Scale) (*Frame, error) {
+	return newFrame(im, true, scale)
+}
+
+func newFrame(im *jfif.Image, alloc bool, scale Scale) (*Frame, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
 	sub, err := im.Subsampling()
 	if err != nil {
 		return nil, err
@@ -110,6 +151,19 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 	f.MCUWidth, f.MCUHeight = sub.MCUPixels()
 	f.MCUsPerRow = (im.Width + f.MCUWidth - 1) / f.MCUWidth
 	f.MCURows = (im.Height + f.MCUHeight - 1) / f.MCUHeight
+
+	f.Scale = scale.Denominator()
+	f.BlockPix = 8 / f.Scale
+	f.OutW = (im.Width + f.Scale - 1) / f.Scale
+	f.OutH = (im.Height + f.Scale - 1) / f.Scale
+	f.MCUOutH = f.MCUHeight / f.Scale
+	// Baseline DC-only decodes never revisit AC coefficients, so one
+	// int32 per block suffices; progressive refinement scans read back
+	// earlier coefficients and keep the full layout at every scale.
+	f.CoeffStride = 64
+	if f.Scale == 8 && !im.Progressive {
+		f.CoeffStride = 1
+	}
 
 	f.Planes = make([]PlaneInfo, len(im.Components))
 	f.Coeff = make([][]int32, len(im.Components))
@@ -133,6 +187,7 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 			BlockRows:    f.MCURows * c.V,
 			H:            c.H,
 			V:            c.V,
+			BlockPix:     f.BlockPix,
 		}
 		f.Planes[i] = p
 		if q := im.Quant[c.QuantSel]; q != nil {
@@ -141,9 +196,13 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 			}
 		}
 		if alloc {
-			f.Coeff[i] = getCoeffSlab(p.Blocks() * 64)
+			f.Coeff[i] = getCoeffSlab(p.Blocks() * f.CoeffStride)
 			f.Samples[i] = getByteSlab(p.PlaneW() * p.PlaneH())
-			f.NZ[i] = getByteSlab(p.Blocks())
+			if f.CoeffStride == 64 {
+				// DC-only frames skip the sparsity watermark: every block
+				// is DC-only by construction.
+				f.NZ[i] = getByteSlab(p.Blocks())
+			}
 		}
 	}
 	return f, nil
@@ -152,57 +211,116 @@ func newFrame(im *jfif.Image, alloc bool) (*Frame, error) {
 // QuantInt returns component c's quantization table widened to int32.
 func (f *Frame) QuantInt(c int) *[dct.BlockSize]int32 { return &f.quantInt[c] }
 
-// Block returns the 64-coefficient slice of block (bx, by) of component c.
+// coeffStride maps a zero value (hand-built frames in tests) to the
+// full 64-coefficient layout.
+func (f *Frame) coeffStride() int {
+	if f.CoeffStride == 0 {
+		return 64
+	}
+	return f.CoeffStride
+}
+
+// DCOnly reports whether the frame stores only DC coefficients
+// (baseline 1/8-scale decodes).
+func (f *Frame) DCOnly() bool { return f.coeffStride() == 1 }
+
+// CoeffPerBlock returns the int32 slots per block in Coeff (64, or 1
+// for DC-only frames), mapping the zero value to 64. Consumers outside
+// the package (device kernels, cost plans) use it so the defaulting
+// rule has one authoritative site.
+func (f *Frame) CoeffPerBlock() int { return f.coeffStride() }
+
+// BlockPixels returns the reconstructed samples per block edge (8 at
+// full size; 4, 2 or 1 under decode-to-scale), mapping the zero value
+// to 8.
+func (f *Frame) BlockPixels() int {
+	if f.BlockPix == 0 {
+		return 8
+	}
+	return f.BlockPix
+}
+
+// OutDims returns the reconstructed output dimensions, mapping the
+// zero value to the coded size.
+func (f *Frame) OutDims() (w, h int) { return f.outW(), f.outH() }
+
+// Block returns the coefficient slice of block (bx, by) of component c:
+// 64 natural-order coefficients normally, a single DC slot for DC-only
+// frames.
 func (f *Frame) Block(c, bx, by int) []int32 {
 	p := f.Planes[c]
-	idx := (by*p.BlocksPerRow + bx) * 64
-	return f.Coeff[c][idx : idx+64 : idx+64]
+	cs := f.coeffStride()
+	idx := (by*p.BlocksPerRow + bx) * cs
+	return f.Coeff[c][idx : idx+cs : idx+cs]
 }
 
 // CoeffRows returns the coefficient slice covering MCU rows [m0, m1) of
 // component c — the unit the scheduler transfers to a device.
 func (f *Frame) CoeffRows(c, m0, m1 int) []int32 {
 	p := f.Planes[c]
-	b0 := m0 * p.V * p.BlocksPerRow * 64
-	b1 := m1 * p.V * p.BlocksPerRow * 64
+	cs := f.coeffStride()
+	b0 := m0 * p.V * p.BlocksPerRow * cs
+	b1 := m1 * p.V * p.BlocksPerRow * cs
 	return f.Coeff[c][b0:b1]
 }
 
 // CoeffBytes returns the byte size of the coefficient data for MCU rows
 // [m0, m1) across all components (what a host→device transfer moves; the
-// wire format is int16 per coefficient, as in the paper's short buffers).
+// wire format is int16 per coefficient, as in the paper's short buffers —
+// DC-only frames move a single int16 per block).
 func (f *Frame) CoeffBytes(m0, m1 int) int {
 	n := 0
+	cs := f.coeffStride()
 	for c := range f.Planes {
 		p := f.Planes[c]
-		n += (m1 - m0) * p.V * p.BlocksPerRow * 64 * 2
+		n += (m1 - m0) * p.V * p.BlocksPerRow * cs * 2
 	}
 	return n
 }
 
-// RGBBytes returns the byte size of the interleaved RGB output for MCU
-// rows [m0, m1) (device→host transfer size).
-func (f *Frame) RGBBytes(m0, m1 int) int {
-	r0, r1 := m0*f.MCUHeight, m1*f.MCUHeight
-	if r1 > f.Img.Height {
-		r1 = f.Img.Height
+// outH maps the zero value (hand-built frames) to the coded height.
+func (f *Frame) outH() int {
+	if f.OutH == 0 {
+		return f.Img.Height
 	}
-	if r0 > r1 {
-		r0 = r1
-	}
-	return (r1 - r0) * f.Img.Width * 3
+	return f.OutH
 }
 
-// PixelRows maps MCU row range [m0, m1) to luma pixel rows, clamped to the
-// image height.
-func (f *Frame) PixelRows(m0, m1 int) (int, int) {
-	r0 := m0 * f.MCUHeight
-	r1 := m1 * f.MCUHeight
-	if r1 > f.Img.Height {
-		r1 = f.Img.Height
+// outW maps the zero value to the coded width.
+func (f *Frame) outW() int {
+	if f.OutW == 0 {
+		return f.Img.Width
 	}
-	if r0 > f.Img.Height {
-		r0 = f.Img.Height
+	return f.OutW
+}
+
+// mcuOutH maps the zero value to the coded MCU height.
+func (f *Frame) mcuOutH() int {
+	if f.MCUOutH == 0 {
+		return f.MCUHeight
+	}
+	return f.MCUOutH
+}
+
+// RGBBytes returns the byte size of the interleaved RGB output for MCU
+// rows [m0, m1) (device→host transfer size, at the output scale).
+func (f *Frame) RGBBytes(m0, m1 int) int {
+	r0, r1 := f.PixelRows(m0, m1)
+	return (r1 - r0) * f.outW() * 3
+}
+
+// PixelRows maps MCU row range [m0, m1) to output pixel rows, clamped
+// to the output height. At full size these are coded luma rows; under
+// decode-to-scale they are scaled rows (MCUOutH per MCU row).
+func (f *Frame) PixelRows(m0, m1 int) (int, int) {
+	mh, oh := f.mcuOutH(), f.outH()
+	r0 := m0 * mh
+	r1 := m1 * mh
+	if r1 > oh {
+		r1 = oh
+	}
+	if r0 > oh {
+		r0 = oh
 	}
 	return r0, r1
 }

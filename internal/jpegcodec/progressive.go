@@ -131,12 +131,29 @@ func (d *progDecoder) bitPos() int64 {
 	return int64(d.r.BytePos())*8 - int64(d.r.BitsBuffered())
 }
 
+// skipsScan reports whether scan i's entropy data can go unread: a
+// 1/8-scale reconstruction uses only the DC coefficient, and AC scans
+// (Ss >= 1, single-component by parse validation) never touch it, so a
+// DC-only decode skips their payload entirely — typically the large
+// majority of a progressive stream's entropy bits. DC scans (first and
+// refinement) still run. Skipped scans contribute no bits to the cost
+// model, matching the work actually done.
+func (d *progDecoder) skipsScan(i int) bool {
+	return d.f.BlockPixels() == 1 && d.f.Img.Scans[i].Ss > 0
+}
+
 // DecodeRows decodes up to n rows of scan work, crossing scan
 // boundaries as needed, and returns the number of rows decoded.
 func (d *progDecoder) DecodeRows(n int) (int, error) {
 	decoded := 0
 	for ; n > 0 && !d.Done(); n-- {
 		if d.sc == nil {
+			for !d.Done() && d.skipsScan(d.scanIdx) {
+				d.scanIdx++
+			}
+			if d.Done() {
+				break
+			}
 			if err := d.beginScan(); err != nil {
 				return decoded, fmt.Errorf("jpegcodec: scan %d: %w", d.scanIdx, err)
 			}

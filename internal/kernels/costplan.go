@@ -26,11 +26,7 @@ func CostPlan(spec *platform.Spec, f *jpegcodec.Frame, m0, m1, y0, y1 int, merge
 		y1 = r1
 	}
 
-	bytes := 0
-	for _, p := range f.Planes {
-		bytes += (m1 - m0) * p.V * p.BlocksPerRow * 64 * 2
-	}
-	recs = append(recs, CostRecord{sim.KindHostToDevice, fmt.Sprintf("h2d[%d,%d)", m0, m1), spec.TransferNs(bytes)})
+	recs = append(recs, CostRecord{sim.KindHostToDevice, fmt.Sprintf("h2d[%d,%d)", m0, m1), spec.TransferNs(f.CoeffBytes(m0, m1))})
 
 	switch {
 	case f.Sub == jfif.SubGray:
@@ -50,7 +46,8 @@ func CostPlan(spec *platform.Spec, f *jpegcodec.Frame, m0, m1, y0, y1 int, merge
 		recs = append(recs, dev.colorUpsCost(f, y0, y1))
 	}
 
-	n := (y1 - y0) * f.Img.Width * 3
+	ow, _ := f.OutDims()
+	n := (y1 - y0) * ow * 3
 	if n < 0 {
 		n = 0
 	}
@@ -73,6 +70,12 @@ func (d dryDevice) idctCost(f *jpegcodec.Frame, m0, m1 int) CostRecord {
 	}
 	gb := d.spec.WorkGroupBlocks
 	groups := (nBlocks + gb - 1) / gb
+	if bp := f.BlockPixels(); bp < 8 {
+		stride := f.CoeffPerBlock()
+		ops := float64(nBlocks)*opsIDCTScaledPerBlock(bp) + float64(groups*gb)*opsAddressPerItem
+		bytes := float64(nBlocks) * float64(stride*2+bp*bp)
+		return CostRecord{sim.KindIDCT, fmt.Sprintf("idct/%d[%d,%d)x%d", 8/bp, m0, m1, nBlocks), d.costOf(ops, bytes, groups, 0)}
+	}
 	ops := float64(nBlocks)*opsIDCTPerBlock + float64(groups*gb*8)*opsAddressPerItem
 	bytes := float64(nBlocks) * (128 + 64)
 	return CostRecord{sim.KindIDCT, fmt.Sprintf("idct[%d,%d)x%d", m0, m1, nBlocks), d.costOf(ops, bytes, groups, gb*64)}
@@ -83,6 +86,13 @@ func (d dryDevice) merged444Cost(f *jpegcodec.Frame, m0, m1 int) CostRecord {
 	nBlocks := (m1 - m0) * p.V * p.BlocksPerRow
 	gb := d.spec.WorkGroupBlocks
 	groups := (nBlocks + gb - 1) / gb
+	if bp := f.BlockPixels(); bp < 8 {
+		stride := f.CoeffPerBlock()
+		pixels := (m1 - m0) * p.V * bp * p.PlaneW()
+		ops := float64(nBlocks)*3*opsIDCTScaledPerBlock(bp) + float64(pixels)*opsColorPerPix + float64(groups*gb)*opsAddressPerItem
+		bytes := float64(nBlocks)*3*float64(stride*2) + float64(pixels)*3
+		return CostRecord{sim.KindMergedKernel, fmt.Sprintf("merged444/%d[%d,%d)", 8/bp, m0, m1), d.costOf(ops, bytes, groups, 0)}
+	}
 	pixels := (m1 - m0) * p.V * 8 * p.PlaneW()
 	ops := float64(nBlocks)*3*opsIDCTPerBlock + float64(pixels)*opsColorPerPix + float64(groups*gb*8)*opsAddressPerItem
 	bytes := float64(nBlocks)*3*128 + float64(pixels)*3
@@ -94,7 +104,7 @@ func (d dryDevice) upsampleColorCost(f *jpegcodec.Frame, r0, r1 int) CostRecord 
 	if rows <= 0 {
 		return CostRecord{sim.KindMergedKernel, "upsample_color(empty)", d.spec.GPU.LaunchNs}
 	}
-	w := f.Img.Width
+	w, _ := f.OutDims()
 	segsPerRow := (w + 7) / 8
 	items := rows * segsPerRow
 	groups := (items + 127) / 128
@@ -113,7 +123,7 @@ func (d dryDevice) color444Cost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
 	if rows <= 0 {
 		return CostRecord{sim.KindColor, "color(empty)", d.spec.GPU.LaunchNs}
 	}
-	w := f.Img.Width
+	w, _ := f.OutDims()
 	items := rows * ((w + 3) / 4)
 	groups := (items + 127) / 128
 	pixels := rows * w
@@ -144,7 +154,7 @@ func (d dryDevice) colorUpsCost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
 	if rows <= 0 {
 		return CostRecord{sim.KindColor, "color(empty)", d.spec.GPU.LaunchNs}
 	}
-	w := f.Img.Width
+	w, _ := f.OutDims()
 	items := rows * ((w + 3) / 4)
 	groups := (items + 127) / 128
 	pixels := rows * w
@@ -157,7 +167,7 @@ func (d dryDevice) grayCost(f *jpegcodec.Frame, r0, r1 int) CostRecord {
 	if rows <= 0 {
 		return CostRecord{sim.KindColor, "gray(empty)", d.spec.GPU.LaunchNs}
 	}
-	w := f.Img.Width
+	w, _ := f.OutDims()
 	items := rows * ((w + 7) / 8)
 	groups := (items + 127) / 128
 	pixels := rows * w

@@ -29,6 +29,17 @@ const (
 	opsAddressPerItem = 6.0
 )
 
+// opsIDCTScaledPerBlock returns the per-block cost of the scaled IDCT
+// kernel for a reconstruction of blockPix x blockPix samples, scaling
+// the full-size kernel cost by the arithmetic ratio of the scaled
+// transforms (shared with the CPU-side virtual cost model).
+func opsIDCTScaledPerBlock(blockPix int) float64 {
+	if blockPix >= 8 {
+		return opsIDCTPerBlock
+	}
+	return opsIDCTPerBlock * dct.ScaledOpsPerBlock(blockPix) / dct.ScaledOpsPerBlock(8)
+}
+
 // CostRecord reports one device-side operation's virtual time.
 type CostRecord struct {
 	Kind  sim.Kind
@@ -53,23 +64,27 @@ type Engine struct {
 	upsCr   *gpusim.ByteBuffer
 	rgb     *gpusim.ByteBuffer
 	quant   [][64]int32
+	stride  int // coefficient slots per block (64, or 1 for DC-only)
 }
 
-// NewEngine allocates device state for frame f.
+// NewEngine allocates device state for frame f. Buffer geometry follows
+// the frame's decode scale: sample planes and the RGB buffer shrink
+// with it, and DC-only frames carry one coefficient slot per block.
 func NewEngine(dev *gpusim.Device, f *jpegcodec.Frame, merged bool) *Engine {
-	e := &Engine{Dev: dev, F: f, Merged: merged}
+	e := &Engine{Dev: dev, F: f, Merged: merged, stride: f.CoeffPerBlock()}
 	e.coef = make([]*gpusim.CoefBuffer, len(f.Planes))
 	e.samples = make([]*gpusim.ByteBuffer, len(f.Planes))
 	e.quant = make([][64]int32, len(f.Planes))
 	for c, p := range f.Planes {
-		e.coef[c] = dev.NewCoefBuffer(p.Blocks() * 64)
+		e.coef[c] = dev.NewCoefBuffer(p.Blocks() * e.stride)
 		e.samples[c] = dev.NewByteBuffer(p.PlaneW() * p.PlaneH())
 		q := f.Img.Quant[f.Img.Components[c].QuantSel]
 		for i, v := range q {
 			e.quant[c][i] = int32(v)
 		}
 	}
-	e.rgb = dev.NewByteBuffer(f.Img.Width * f.Img.Height * 3)
+	w, h := f.OutDims()
+	e.rgb = dev.NewByteBuffer(w * h * 3)
 	if !merged && len(f.Planes) == 3 && f.Sub != jfif.Sub444 {
 		yp := f.Planes[0]
 		e.upsCb = dev.NewByteBuffer(yp.PlaneW() * yp.PlaneH())
@@ -120,7 +135,7 @@ func (e *Engine) DecodeChunk(m0, m1, y0, y1 int, out *jpegcodec.RGBImage) []Cost
 	bytes := 0
 	for c, p := range f.Planes {
 		src := f.CoeffRows(c, m0, m1)
-		off := m0 * p.V * p.BlocksPerRow * 64
+		off := m0 * p.V * p.BlocksPerRow * e.stride
 		e.Dev.CopyInAt(e.coef[c], off, src)
 		bytes += len(src) * 2
 	}
@@ -145,12 +160,13 @@ func (e *Engine) DecodeChunk(m0, m1, y0, y1 int, out *jpegcodec.RGBImage) []Cost
 		recs = append(recs, e.runColorFromUpsampled(y0, y1))
 	}
 
-	// Device -> host readback of finished rows.
-	n := (y1 - y0) * f.Img.Width * 3
+	// Device -> host readback of finished rows (output-scale geometry).
+	w, _ := f.OutDims()
+	n := (y1 - y0) * w * 3
 	if n < 0 {
 		n = 0
 	}
-	ns := e.Dev.CopyOutAt(out.Pix, y0*f.Img.Width*3, e.rgb, n)
+	ns := e.Dev.CopyOutAt(out.Pix, y0*w*3, e.rgb, n)
 	recs = append(recs, CostRecord{sim.KindDeviceToHost, fmt.Sprintf("d2h[%d,%d)", y0, y1), ns})
 	return recs
 }
@@ -193,8 +209,12 @@ func (ix *blockIndex) at(bi int) blockRef {
 
 // runIDCT launches the Section 4.1 IDCT kernel over every block of every
 // component in MCU rows [m0, m1) (single launch, Y|Cb|Cr buffer order).
+// Scaled decodes dispatch the reduced-resolution kernel instead.
 func (e *Engine) runIDCT(m0, m1 int) CostRecord {
 	f := e.F
+	if f.BlockPixels() < 8 {
+		return e.runIDCTScaled(m0, m1)
+	}
 	ix := newBlockIndex(f, m0, m1)
 	nBlocks := ix.n
 	groupBlocks := e.Dev.Spec.WorkGroupBlocks
@@ -248,11 +268,72 @@ func (e *Engine) runIDCT(m0, m1 int) CostRecord {
 	return CostRecord{sim.KindIDCT, fmt.Sprintf("idct[%d,%d)x%d", m0, m1, nBlocks), ns}
 }
 
+// runIDCTScaled is the decode-to-scale IDCT kernel: a scaled block is
+// too small to split eight ways, so one work-item reconstructs one
+// whole block (the thread-per-scaled-block mapping real implementations
+// use), writing BlockPix x BlockPix clamped samples through the same
+// dct scaled kernels as the CPU path — output stays byte-identical. No
+// local memory or phase barrier is needed.
+func (e *Engine) runIDCTScaled(m0, m1 int) CostRecord {
+	f := e.F
+	ix := newBlockIndex(f, m0, m1)
+	nBlocks := ix.n
+	groupBlocks := e.Dev.Spec.WorkGroupBlocks
+	groups := (nBlocks + groupBlocks - 1) / groupBlocks
+	bp := f.BlockPixels()
+	stride := e.stride
+
+	phase := func(g *gpusim.Group, item int) {
+		bi := g.ID*groupBlocks + item
+		if bi >= nBlocks {
+			return
+		}
+		r := ix.at(bi)
+		p := f.Planes[r.comp]
+		base := (r.by*p.BlocksPerRow + r.bx) * stride
+		cb := e.coef[r.comp].Data[base : base+stride : base+stride]
+		q := &e.quant[r.comp]
+		pw := p.PlaneW()
+		dst := e.samples[r.comp].Data[r.by*bp*pw+r.bx*bp:]
+		if bp == 1 {
+			// 1/8 scale reads only the DC term, whether the frame stores
+			// one slot per block (baseline) or all 64 (progressive) —
+			// skip the coefficient widening entirely.
+			dct.InverseIntScaled1x1Bytes(int32(cb[0])*q[0], dst[:1:1])
+			return
+		}
+		var blk [64]int32
+		for i, v := range cb {
+			blk[i] = int32(v)
+		}
+		if bp == 4 {
+			dct.InverseIntScaled4x4DequantBytes(blk[:], q, dst, pw)
+		} else {
+			dct.InverseIntScaled2x2DequantBytes(blk[:], q, dst, pw)
+		}
+	}
+
+	k := &gpusim.Kernel{
+		Name:          "idct_scaled",
+		Groups:        groups,
+		ItemsPerGroup: groupBlocks,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(nBlocks)*opsIDCTScaledPerBlock(bp) + float64(groups*groupBlocks)*opsAddressPerItem,
+		GlobalBytes:   float64(nBlocks) * float64(stride*2+bp*bp),
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindIDCT, fmt.Sprintf("idct/%d[%d,%d)x%d", 8/bp, m0, m1, nBlocks), ns}
+}
+
 // runMerged444 is the Section 4.4 merged IDCT + color-conversion kernel
 // for 4:4:4 frames: three column passes (Y, Cb, Cr) into local memory,
 // then a row pass that converts and stores interleaved RGB directly.
+// Scaled decodes dispatch the reduced-resolution merged kernel instead.
 func (e *Engine) runMerged444(m0, m1 int) CostRecord {
 	f := e.F
+	if f.BlockPixels() < 8 {
+		return e.runMerged444Scaled(m0, m1)
+	}
 	p := f.Planes[0]
 	b0, b1 := m0*p.V, m1*p.V
 	nBlocks := (b1 - b0) * p.BlocksPerRow
@@ -327,6 +408,81 @@ func (e *Engine) runMerged444(m0, m1 int) CostRecord {
 	return CostRecord{sim.KindMergedKernel, fmt.Sprintf("merged444[%d,%d)", m0, m1), ns}
 }
 
+// runMerged444Scaled is the merged IDCT + color kernel at reduced
+// resolution: one work-item reconstructs the three co-sited scaled
+// blocks (4:4:4 planes are congruent) into private byte buffers through
+// the same dct scaled kernels as the CPU path, then converts and stores
+// the BlockPix x BlockPix RGB pixels. Roundtripping through clamped
+// bytes keeps the output byte-identical to the scalar pipeline.
+func (e *Engine) runMerged444Scaled(m0, m1 int) CostRecord {
+	f := e.F
+	p := f.Planes[0]
+	bp := f.BlockPixels()
+	stride := e.stride
+	b0, b1 := m0*p.V, m1*p.V
+	nBlocks := (b1 - b0) * p.BlocksPerRow
+	groupBlocks := e.Dev.Spec.WorkGroupBlocks
+	groups := (nBlocks + groupBlocks - 1) / groupBlocks
+	w, h := f.OutDims()
+
+	phase := func(g *gpusim.Group, item int) {
+		bi := g.ID*groupBlocks + item
+		if bi >= nBlocks {
+			return
+		}
+		bi += b0 * p.BlocksPerRow
+		bx, by := bi%p.BlocksPerRow, bi/p.BlocksPerRow
+		var sam [3][16]byte // bp <= 4: at most 16 samples per block
+		for comp := 0; comp < 3; comp++ {
+			base := (by*p.BlocksPerRow + bx) * stride
+			cb := e.coef[comp].Data[base : base+stride : base+stride]
+			q := &e.quant[comp]
+			dst := sam[comp][:]
+			if bp == 1 {
+				// DC term only, at either coefficient stride.
+				dct.InverseIntScaled1x1Bytes(int32(cb[0])*q[0], dst)
+				continue
+			}
+			var blk [64]int32
+			for i, v := range cb {
+				blk[i] = int32(v)
+			}
+			if bp == 4 {
+				dct.InverseIntScaled4x4DequantBytes(blk[:], q, dst, bp)
+			} else {
+				dct.InverseIntScaled2x2DequantBytes(blk[:], q, dst, bp)
+			}
+		}
+		for y := 0; y < bp; y++ {
+			py := by*bp + y
+			if py >= h {
+				break
+			}
+			for x := 0; x < bp; x++ {
+				px := bx*bp + x
+				if px >= w {
+					continue
+				}
+				r, gg, b := color.YCbCrToRGB(int32(sam[0][y*bp+x]), int32(sam[1][y*bp+x]), int32(sam[2][y*bp+x]))
+				i := (py*w + px) * 3
+				e.rgb.Data[i], e.rgb.Data[i+1], e.rgb.Data[i+2] = r, gg, b
+			}
+		}
+	}
+
+	pixels := (b1 - b0) * bp * p.PlaneW()
+	k := &gpusim.Kernel{
+		Name:          "merged_idct_color_444_scaled",
+		Groups:        groups,
+		ItemsPerGroup: groupBlocks,
+		Phases:        []gpusim.PhaseFunc{phase},
+		Ops:           float64(nBlocks)*3*opsIDCTScaledPerBlock(bp) + float64(pixels)*opsColorPerPix + float64(groups*groupBlocks)*opsAddressPerItem,
+		GlobalBytes:   float64(nBlocks)*3*float64(stride*2) + float64(pixels)*3,
+	}
+	ns := e.Dev.Run(k)
+	return CostRecord{sim.KindMergedKernel, fmt.Sprintf("merged444/%d[%d,%d)", 8/bp, m0, m1), ns}
+}
+
 // runUpsampleColor is the Section 4.4 merged upsampling + color kernel
 // for 4:2:2 (and the 4:2:0 extension): each work-item upsamples the
 // chroma for one 8-pixel output segment in registers, loads the matching
@@ -334,7 +490,7 @@ func (e *Engine) runMerged444(m0, m1 int) CostRecord {
 // of a block on the same branch (no divergence, Section 4.2).
 func (e *Engine) runUpsampleColor(r0, r1 int) CostRecord {
 	f := e.F
-	w, h := f.Img.Width, f.Img.Height
+	w, h := f.OutDims()
 	yp := f.Planes[0]
 	cp := f.Planes[1]
 	ypw, cpw := yp.PlaneW(), cp.PlaneW()
@@ -411,7 +567,7 @@ func (e *Engine) runUpsampleColor(r0, r1 int) CostRecord {
 // used in split (non-merged) mode for 4:4:4 frames.
 func (e *Engine) runColor444(r0, r1 int) CostRecord {
 	f := e.F
-	w, h := f.Img.Width, f.Img.Height
+	w, h := f.OutDims()
 	pw := f.Planes[0].PlaneW()
 	rows := r1 - r0
 	if rows <= 0 {
@@ -521,7 +677,7 @@ func (e *Engine) runUpsample(r0, r1 int) CostRecord {
 // produced by runUpsample (split mode tail).
 func (e *Engine) runColorFromUpsampled(r0, r1 int) CostRecord {
 	f := e.F
-	w, h := f.Img.Width, f.Img.Height
+	w, h := f.OutDims()
 	pw := f.Planes[0].PlaneW()
 	rows := r1 - r0
 	if rows <= 0 {
@@ -565,7 +721,7 @@ func (e *Engine) runColorFromUpsampled(r0, r1 int) CostRecord {
 // runGrayColor replicates the luma plane into RGB for grayscale frames.
 func (e *Engine) runGrayColor(r0, r1 int) CostRecord {
 	f := e.F
-	w, h := f.Img.Width, f.Img.Height
+	w, h := f.OutDims()
 	pw := f.Planes[0].PlaneW()
 	rows := r1 - r0
 	if rows <= 0 {

@@ -14,14 +14,30 @@ import (
 
 // Inputs collects everything the balance equations need.
 type Inputs struct {
-	W, H      int     // image dimensions in pixels
+	W, H      int     // coded image dimensions in pixels
 	D         float64 // entropy density, bytes/pixel (Equation 3)
-	MCURowPix int     // pixel rows per MCU row (8 or 16)
+	MCURowPix int     // coded pixel rows per MCU row (8 or 16)
 	Model     *perfmodel.SubModel
 	ChunkRows int // pipelining chunk size in MCU rows (PPS)
+	// Scale is the decode-to-scale denominator (0 or 1 = full size).
+	// The balance equations keep working in coded pixel rows — Huffman
+	// time is scale-invariant — but the parallel-phase polynomials
+	// (PCPU, PGPU, TDisp) are evaluated at the scaled geometry, where a
+	// 1/s decode does roughly 1/s² of the back-phase work. The fitted
+	// forms were trained on full decodes of varied sizes, so evaluating
+	// them at (W/s, rows/s) reuses the fit's own size dependence.
+	Scale int
 }
 
 func (in Inputs) wf() float64 { return float64(in.W) }
+
+// sf returns the scale denominator as a float (>= 1).
+func (in Inputs) sf() float64 {
+	if in.Scale > 1 {
+		return float64(in.Scale)
+	}
+	return 1
+}
 
 // evalGuard evaluates a fitted bivariate phase polynomial at (w, rows)
 // while enforcing the physical boundary condition the regression cannot
@@ -37,18 +53,19 @@ type phasePoly interface {
 }
 
 func (in Inputs) evalGuard(p phasePoly, rows float64) float64 {
+	s := in.sf()
 	floor := 2 * float64(in.MCURowPix)
 	if rows <= 0 {
 		return 0
 	}
 	if rows < floor {
-		v := p.Eval(in.wf(), floor)
+		v := p.Eval(in.wf()/s, floor/s)
 		if v < 0 {
 			v = 0
 		}
 		return v * rows / floor
 	}
-	v := p.Eval(in.wf(), rows)
+	v := p.Eval(in.wf()/s, rows/s)
 	if v < 0 {
 		v = 0
 	}
@@ -56,18 +73,20 @@ func (in Inputs) evalGuard(p phasePoly, rows float64) float64 {
 }
 
 func (in Inputs) derivGuard(p phasePoly, rows float64) float64 {
+	s := in.sf()
 	floor := 2 * float64(in.MCURowPix)
 	if rows <= 0 {
 		return 0
 	}
 	if rows < floor {
-		v := p.Eval(in.wf(), floor)
+		v := p.Eval(in.wf()/s, floor/s)
 		if v < 0 {
 			v = 0
 		}
 		return v / floor
 	}
-	return p.DerivH(in.wf(), rows)
+	// d/d(rows) of p(w/s, rows/s) — the chain rule divides by s.
+	return p.DerivH(in.wf()/s, rows/s) / s
 }
 
 // roundToMCU rounds x (CPU pixel rows) to a whole number of MCU rows,

@@ -43,3 +43,47 @@ func (r *OnlineRate) Observe(x float64) {
 
 // Value returns the current estimate (0 when unseeded).
 func (r *OnlineRate) Value() float64 { return r.v }
+
+// ScaledRates keys an OnlineRate by decode scale: the back-phase cost
+// per MCU differs by more than an order of magnitude between a full
+// decode and a DC-only 1/8 decode, so folding them into one EWMA would
+// let a burst of thumbnail traffic wreck the full-size estimate (and
+// vice versa). Each supported scale (1, 2, 4, 8) learns independently;
+// the batch scheduler seeds each from the offline fit evaluated at that
+// scale's output geometry and corrects it with measurements.
+//
+// Like OnlineRate, the zero value is ready to use and access must be
+// serialized by the caller.
+type ScaledRates struct {
+	rates [4]OnlineRate
+}
+
+// scaleIdx maps a scale denominator to its slot; unknown values share
+// the full-size slot (they cannot occur for validated decodes).
+func scaleIdx(scale int) int {
+	switch scale {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 8:
+		return 3
+	}
+	return 0
+}
+
+// At returns the rate for a scale denominator (1, 2, 4 or 8).
+func (r *ScaledRates) At(scale int) *OnlineRate { return &r.rates[scaleIdx(scale)] }
+
+// Max returns the largest current estimate across scales (0 when all
+// are unseeded) — the conservative choice when sizing shared resources
+// for mixed-scale traffic.
+func (r *ScaledRates) Max() float64 {
+	var m float64
+	for i := range r.rates {
+		if v := r.rates[i].Value(); v > m {
+			m = v
+		}
+	}
+	return m
+}
