@@ -1,5 +1,15 @@
 # Developer entry points. The repo is plain `go build ./...` /
 # `go test ./...`; these targets wrap the recurring workflows.
+#
+# Static analysis:
+#   make lint           runs the project analyzers (cmd/hetlint:
+#                       poolcheck, errwrapcheck, ctxloopcheck) over the
+#                       whole module, then the codegen-regression gate
+#                       (cmd/hetaudit: new bounds checks or heap
+#                       escapes in the hot packages vs the committed
+#                       baselines in internal/lint/testdata/).
+#   make lint-baseline  re-blesses the hetaudit baselines after an
+#                       intentional codegen change; commit the diff.
 
 BENCH_OUT ?= BENCH_2.json
 BENCH_COUNT ?= 5
@@ -16,7 +26,7 @@ BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
 # per scale, plus the scaled mixed-size batch workload.
 BENCH_SCALE_OUT ?= BENCH_4.json
 
-.PHONY: all build test race bench bench-batch bench-scale bench-smoke fuzz-smoke conformance cover fmt vet
+.PHONY: all build test race bench bench-batch bench-scale bench-smoke fuzz-smoke conformance cover fmt vet lint lint-baseline
 
 all: build
 
@@ -102,3 +112,17 @@ fmt:
 
 vet:
 	go vet ./...
+
+# lint runs the project-specific analyzers and the codegen-regression
+# gate. Both exit non-zero on findings; `make lint` green is a merge
+# requirement. Raw hetaudit compiler output lands in hetaudit_*.txt
+# (gitignored) for inspection.
+lint:
+	go run ./cmd/hetlint ./...
+	go run ./cmd/hetaudit
+
+# lint-baseline re-blesses the hetaudit codegen baselines from the
+# current tree. Run it only after verifying an intentional change (a
+# new kernel, a rewritten loop) and commit the baseline diff with it.
+lint-baseline:
+	go run ./cmd/hetaudit -bless

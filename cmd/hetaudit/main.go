@@ -1,0 +1,160 @@
+// Command hetaudit is the codegen-regression gate for the decoder's
+// hot packages. It rebuilds them with the compiler's bounds-check
+// debugging (-d=ssa/check_bce/debug=1) and escape analysis (-m)
+// diagnostics on, aggregates the findings per (file, function, kind),
+// and diffs the aggregate against the committed baselines in
+// internal/lint/testdata/. Any NEW bounds check or heap escape in a
+// hot package fails the gate — those loops were shaped so the
+// compiler proves their indexes and keeps their scratch on the stack,
+// and losing that is a performance regression go test cannot see.
+//
+// Usage:
+//
+//	hetaudit            # audit and diff against the baselines (CI mode)
+//	hetaudit -bless     # re-bless: rewrite the baselines from this tree
+//
+// Raw compiler output is written to hetaudit_bce.txt and
+// hetaudit_escape.txt (gitignored) for inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"hetjpeg/internal/lint"
+)
+
+// hotPackages are the import paths whose codegen is under audit: the
+// per-sample inner loops (IDCT, bitstream, Huffman, color) and the
+// codec layer that drives them.
+var hotPackages = []string{
+	"hetjpeg/internal/dct",
+	"hetjpeg/internal/bitstream",
+	"hetjpeg/internal/huffman",
+	"hetjpeg/internal/color",
+	"hetjpeg/internal/jpegcodec",
+}
+
+const (
+	bceBaseline    = "internal/lint/testdata/bce_baseline.txt"
+	escapeBaseline = "internal/lint/testdata/escape_baseline.txt"
+)
+
+func main() {
+	bless := flag.Bool("bless", false, "rewrite the committed baselines from the current tree")
+	dir := flag.String("dir", "", "repo root (default: current directory)")
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		root, _ = os.Getwd()
+	}
+
+	bceOut, err := compileWithFlags(root, "-d=ssa/check_bce/debug=1")
+	if err != nil {
+		fatal(err)
+	}
+	escOut, err := compileWithFlags(root, "-m")
+	if err != nil {
+		fatal(err)
+	}
+	_ = lint.WriteRawAudit(filepath.Join(root, "hetaudit_bce.txt"), bceOut)
+	_ = lint.WriteRawAudit(filepath.Join(root, "hetaudit_escape.txt"), escOut)
+
+	bce, err := lint.Summarize(root, lint.ParseBCE(bceOut))
+	if err != nil {
+		fatal(err)
+	}
+	esc, err := lint.Summarize(root, lint.ParseEscape(escOut))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *bless {
+		writeBaseline(root, bceBaseline,
+			lint.FormatBaseline("Bounds checks the compiler could not eliminate in the hot packages.", bce))
+		writeBaseline(root, escapeBaseline,
+			lint.FormatBaseline("Heap escapes in the hot packages.", esc))
+		fmt.Printf("hetaudit: blessed %s (%d sites) and %s (%d sites)\n",
+			bceBaseline, total(bce), escapeBaseline, total(esc))
+		return
+	}
+
+	failed := false
+	failed = diff(root, "bounds checks", bceBaseline, bce) || failed
+	failed = diff(root, "heap escapes", escapeBaseline, esc) || failed
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("hetaudit: codegen clean (%d bounds-check sites, %d escape sites, all baselined)\n",
+		total(bce), total(esc))
+}
+
+// compileWithFlags builds each hot package with the given gcflags
+// applied to it alone and returns the concatenated compiler stderr.
+// The build cache replays diagnostics on cache hits, so repeated runs
+// are fast and deterministic.
+func compileWithFlags(root, flags string) (string, error) {
+	var out strings.Builder
+	for _, pkg := range hotPackages {
+		cmd := exec.Command("go", "build", "-gcflags="+pkg+"="+flags, pkg)
+		cmd.Dir = root
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return "", fmt.Errorf("hetaudit: go build %s: %w\n%s", pkg, err, stderr.String())
+		}
+		out.WriteString(stderr.String())
+	}
+	return out.String(), nil
+}
+
+func diff(root, what, baselinePath string, current map[lint.AuditKey]int) bool {
+	text, err := os.ReadFile(filepath.Join(root, baselinePath))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetaudit: no baseline %s (run `make lint-baseline` once and commit it): %v\n",
+			baselinePath, err)
+		return true
+	}
+	baseline, err := lint.ParseBaseline(string(text))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetaudit: %s: %v\n", baselinePath, err)
+		return true
+	}
+	regressions, improvements := lint.DiffBaseline(baseline, current)
+	for _, s := range improvements {
+		fmt.Printf("hetaudit: improved (re-bless to lock in): %s\n", s)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "hetaudit: NEW %s in hot packages (vs %s):\n", what, baselinePath)
+		for _, s := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", s)
+		}
+		fmt.Fprintf(os.Stderr, "  If intentional, re-bless with `make lint-baseline` and commit the diff.\n")
+		return true
+	}
+	return false
+}
+
+func writeBaseline(root, rel, content string) {
+	if err := os.WriteFile(filepath.Join(root, rel), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func total(m map[lint.AuditKey]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

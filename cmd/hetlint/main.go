@@ -1,0 +1,61 @@
+// Command hetlint is hetjpeg's project-specific static-analysis
+// multichecker. It loads the packages matching its arguments (./... by
+// default), type-checks them against the compiler's export data, and
+// runs the suite in internal/lint:
+//
+//	poolcheck     pool.Slab.Get/Put pairing, use-after-Put, Result.Release
+//	errwrapcheck  %w-wrapping of errors (typed sentinels survive errors.Is)
+//	ctxloopcheck  ctx polling in data-sized loops
+//
+// Findings print as file:line:col: analyzer: message; any finding exits
+// nonzero. Deliberate ownership handoffs are annotated in source with
+// `//hetlint:transfer`, deliberate non-polling loops with
+// `//hetlint:nopoll` — see the Static analysis section of README.md.
+//
+// Usage:
+//
+//	hetlint [-q] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetjpeg/internal/lint"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print findings only, no summary")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetlint:", err)
+		os.Exit(2)
+	}
+	analyzers := lint.Analyzers()
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		total += len(diags)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "hetlint: %d finding(s) in %d package(s)\n", total, len(pkgs))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("hetlint: %d package(s) clean (poolcheck, errwrapcheck, ctxloopcheck)\n", len(pkgs))
+	}
+}

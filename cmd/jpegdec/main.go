@@ -102,6 +102,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Hand the pixel and coefficient slabs back once the report and the
+	// optional PNG are written (poolcheck: release on every path).
+	defer res.Release()
 
 	coding := "baseline"
 	if res.Stats.EntropyScans > 1 {
@@ -173,6 +176,9 @@ func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, m
 			fmt.Printf("  %-24s %4dx%-4d  %7.2f ms  (gpu %d / cpu %d rows)\n",
 				files[i], ir.Res.Image.W, ir.Res.Image.H, ir.Res.TotalNs/1e6,
 				ir.Res.Stats.GPUMCURows, ir.Res.Stats.CPUMCURows)
+			// The report only needs the metadata above; recycle the
+			// pooled buffers before the next image prints.
+			ir.Res.Release()
 		}
 	}
 	fmt.Printf("\n%d images (%d failed) on %s with %s, %d workers\n",

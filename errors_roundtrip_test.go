@@ -1,0 +1,92 @@
+package hetjpeg_test
+
+// The typed-sentinel contract errwrapcheck enforces, verified end to
+// end: ErrUnsupported and ErrUnsupportedScale must survive errors.Is
+// through every layer wrap (jpegcodec → core → batch), because the
+// webserver maps them to HTTP statuses and batch callers use them to
+// distinguish "out of scope" from "corrupt".
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hetjpeg"
+)
+
+// unsupportedJPEG flips the SOF0 sample-precision byte to 12 bits: a
+// structurally valid stream using a feature outside the decoder's
+// scope, the exact class ErrUnsupported marks.
+func unsupportedJPEG(t testing.TB) []byte {
+	t.Helper()
+	data := testJPEG(t, 64, 48)
+	i := bytes.Index(data, []byte{0xFF, 0xC0})
+	if i < 0 {
+		t.Fatal("no SOF0 marker in encoded stream")
+	}
+	data[i+4] = 12
+	return data
+}
+
+func TestErrUnsupportedSurvivesDecode(t *testing.T) {
+	spec := hetjpeg.PlatformByName("GTX 560")
+	_, err := hetjpeg.Decode(unsupportedJPEG(t), hetjpeg.Options{Mode: hetjpeg.ModeSequential, Spec: spec})
+	if err == nil {
+		t.Fatal("12-bit stream decoded without error")
+	}
+	if !errors.Is(err, hetjpeg.ErrUnsupported) {
+		t.Fatalf("errors.Is(err, ErrUnsupported) = false; err = %v", err)
+	}
+}
+
+func TestErrUnsupportedSurvivesBatch(t *testing.T) {
+	spec := hetjpeg.PlatformByName("GTX 560")
+	res, err := hetjpeg.DecodeBatch([][]byte{testJPEG(t, 64, 48), unsupportedJPEG(t)},
+		hetjpeg.BatchOptions{Spec: spec, Mode: hetjpeg.ModeSequential, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", res.Failed)
+	}
+	for _, ir := range res.Images {
+		switch ir.Index {
+		case 0:
+			if ir.Err != nil {
+				t.Fatalf("good image failed: %v", ir.Err)
+			}
+			ir.Res.Release()
+		case 1:
+			if ir.Err == nil {
+				t.Fatal("12-bit stream decoded without error in batch")
+			}
+			if !errors.Is(ir.Err, hetjpeg.ErrUnsupported) {
+				t.Fatalf("errors.Is(ir.Err, ErrUnsupported) = false through the batch layer; err = %v", ir.Err)
+			}
+		}
+	}
+}
+
+func TestErrUnsupportedScaleSurvivesDecode(t *testing.T) {
+	spec := hetjpeg.PlatformByName("GTX 560")
+	_, err := hetjpeg.Decode(testJPEG(t, 64, 48),
+		hetjpeg.Options{Mode: hetjpeg.ModeSequential, Spec: spec, Scale: hetjpeg.Scale(3)})
+	if err == nil {
+		t.Fatal("scale 1/3 decoded without error")
+	}
+	if !errors.Is(err, hetjpeg.ErrUnsupportedScale) {
+		t.Fatalf("errors.Is(err, ErrUnsupportedScale) = false; err = %v", err)
+	}
+}
+
+func TestErrUnsupportedScaleSurvivesBatch(t *testing.T) {
+	spec := hetjpeg.PlatformByName("GTX 560")
+	_, err := hetjpeg.DecodeBatch([][]byte{testJPEG(t, 64, 48)},
+		hetjpeg.BatchOptions{Spec: spec, Mode: hetjpeg.ModeSequential, Scale: hetjpeg.Scale(3)})
+	if err == nil {
+		t.Fatal("scale 1/3 batch started without error")
+	}
+	if !errors.Is(err, hetjpeg.ErrUnsupportedScale) {
+		t.Fatalf("errors.Is(err, ErrUnsupportedScale) = false through the batch layer; err = %v", err)
+	}
+}

@@ -37,10 +37,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sps.Release()
 	pps, err := hetjpeg.Decode(data, hetjpeg.Options{Mode: hetjpeg.ModePPS, Spec: spec, Model: model})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer pps.Release()
 
 	fmt.Printf("\nSPS  (no correction):   GPU %3d rows / CPU %3d rows   %.2f ms\n",
 		sps.Stats.GPUMCURows, sps.Stats.CPUMCURows, sps.TotalNs/1e6)

@@ -109,6 +109,9 @@ func main() {
 		fmt.Printf("  image %2d: %4dx%-4d  %6.2f ms  (gpu %d / cpu %d rows)\n",
 			ir.Index, ir.Res.Image.W, ir.Res.Image.H, ir.Res.TotalNs/1e6,
 			st.GPUMCURows, st.CPUMCURows)
+		// The per-image report is done; recycle the pooled buffers like
+		// the two per-image-pool runs above do.
+		ir.Res.Release()
 	}
 
 	fmt.Printf("\nvirtual timeline (the paper's metric):\n")

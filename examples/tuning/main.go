@@ -58,6 +58,9 @@ func main() {
 			if bestC == 0 || res.TotalNs < bestNs {
 				bestNs, bestC = res.TotalNs, c
 			}
+			// The sweep only keeps the virtual time; recycle the pooled
+			// buffers so a long candidate list stays allocation-flat.
+			res.Release()
 		}
 		for _, ns := range row {
 			if ns < 0 {

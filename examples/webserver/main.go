@@ -120,6 +120,9 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 	mode = mode.Resolve(s.model)
 	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model, Scale: scale})
 	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name, Scale: scale.String()}
+	// Headers must be set before the first WriteHeader call; the error
+	// replies below are JSON too.
+	w.Header().Set("Content-Type", "application/json")
 	if err != nil {
 		reply.Error = err.Error()
 		if errors.Is(err, hetjpeg.ErrUnsupported) {
@@ -145,7 +148,6 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		res.Release()
 	}
 	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
-	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(reply)
 }
 

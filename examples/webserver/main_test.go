@@ -1,0 +1,165 @@
+package main
+
+// End-to-end check of the sentinel → HTTP status mapping: the decode
+// handlers rely on errors.Is(err, hetjpeg.ErrUnsupported) surviving
+// every wrap between jpegcodec and this layer. If any layer
+// re-stringified the error (the bug class errwrapcheck guards), the
+// 12-bit upload below would come back 422 instead of 415.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hetjpeg"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	spec := hetjpeg.PlatformByName("GTX 560")
+	if spec == nil {
+		t.Fatal("platform GTX 560 missing")
+	}
+	// No trained model: the tests pass ?mode=pipeline explicitly, which
+	// does not consult one.
+	s := &server{spec: spec, model: nil, workers: 2}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decode", s.decode)
+	mux.HandleFunc("/batch", s.batch)
+	mux.HandleFunc("/platforms", s.platforms)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func encodeJPEG(t *testing.T, w, h int) []byte {
+	t.Helper()
+	img := hetjpeg.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(x, y, byte(x), byte(y), byte(x+y))
+		}
+	}
+	data, err := hetjpeg.Encode(img, hetjpeg.EncodeOptions{Quality: 85, Subsampling: hetjpeg.Sub422})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// unsupportedJPEG flips the SOF0 precision byte to 12 bits: valid
+// JPEG, out-of-scope feature, the ErrUnsupported class.
+func unsupportedJPEG(t *testing.T) []byte {
+	t.Helper()
+	data := encodeJPEG(t, 64, 48)
+	i := bytes.Index(data, []byte{0xFF, 0xC0})
+	if i < 0 {
+		t.Fatal("no SOF0 marker")
+	}
+	data[i+4] = 12
+	return data
+}
+
+func postDecode(t *testing.T, ts *httptest.Server, query string, body []byte) (int, decodeReply) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/decode?"+query, "image/jpeg", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply decodeReply
+	if resp.Header.Get("Content-Type") == "application/json" {
+		if err := json.Unmarshal(raw, &reply); err != nil {
+			t.Fatalf("bad JSON reply: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, reply
+}
+
+func TestDecodeEndpointOK(t *testing.T) {
+	ts := testServer(t)
+	status, reply := postDecode(t, ts, "mode=pipeline&scale=1/2", encodeJPEG(t, 64, 48))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (error: %s)", status, reply.Error)
+	}
+	if reply.Width != 32 || reply.Height != 24 {
+		t.Errorf("scaled decode %dx%d, want 32x24", reply.Width, reply.Height)
+	}
+}
+
+func TestDecodeEndpointUnsupportedIs415(t *testing.T) {
+	ts := testServer(t)
+	status, reply := postDecode(t, ts, "mode=pipeline", unsupportedJPEG(t))
+	if status != http.StatusUnsupportedMediaType {
+		t.Fatalf("status = %d, want 415; reply %+v", status, reply)
+	}
+	if !reply.Unsupported {
+		t.Error("reply.Unsupported = false: errors.Is lost the sentinel between jpegcodec and the handler")
+	}
+}
+
+func TestDecodeEndpointCorruptIs422(t *testing.T) {
+	ts := testServer(t)
+	status, reply := postDecode(t, ts, "mode=pipeline", []byte("not a jpeg at all"))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; reply %+v", status, reply)
+	}
+	if reply.Unsupported {
+		t.Error("corruption misclassified as unsupported feature")
+	}
+}
+
+func TestDecodeEndpointBadScaleIs400(t *testing.T) {
+	ts := testServer(t)
+	status, _ := postDecode(t, ts, "mode=pipeline&scale=1/3", encodeJPEG(t, 64, 48))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+}
+
+func TestBatchEndpointIsolatesUnsupportedImage(t *testing.T) {
+	ts := testServer(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for i, data := range [][]byte{encodeJPEG(t, 64, 48), unsupportedJPEG(t)} {
+		fw, err := mw.CreateFormFile("img", []string{"good.jpg", "bad.jpg"}[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+
+	resp, err := http.Post(ts.URL+"/batch?mode=pipeline", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, raw)
+	}
+	var reply batchReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Failed != 1 || len(reply.Images) != 2 {
+		t.Fatalf("failed=%d images=%d, want 1 failure of 2", reply.Failed, len(reply.Images))
+	}
+	if reply.Images[0].Error != "" {
+		t.Errorf("good image failed: %s", reply.Images[0].Error)
+	}
+	if !reply.Images[1].Unsupported {
+		t.Error("images[1].Unsupported = false: the sentinel did not survive the batch layer")
+	}
+}

@@ -83,6 +83,7 @@ func (p *Prepared) EntropyDecode(ctx context.Context) error {
 	}
 	st.rowCost = make([]float64, st.f.MCURows)
 	blocksPerRow := blocksPerMCURow(st.f)
+	//hetlint:nopoll one polynomial evaluation per MCU row, microseconds for the whole image
 	for i, bits := range st.ed.BitsPerRow {
 		st.rowCost[i] = st.opts.Spec.HuffmanNs(bits, blocksPerRow)
 	}

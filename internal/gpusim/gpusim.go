@@ -69,9 +69,13 @@ type CoefBuffer struct{ Data []int16 }
 type ByteBuffer struct{ Data []byte }
 
 // NewCoefBuffer allocates a device coefficient buffer (zeroed).
+//
+//hetlint:transfer ownership moves to the CoefBuffer; Free puts it back
 func (d *Device) NewCoefBuffer(n int) *CoefBuffer { return &CoefBuffer{Data: coefSlabs.Get(n)} }
 
 // NewByteBuffer allocates a device byte buffer (zeroed).
+//
+//hetlint:transfer ownership moves to the ByteBuffer; Free puts it back
 func (d *Device) NewByteBuffer(n int) *ByteBuffer { return &ByteBuffer{Data: byteSlabs.Get(n)} }
 
 // Free returns the buffer's backing slab to the device allocator. The

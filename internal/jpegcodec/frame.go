@@ -24,10 +24,13 @@ var (
 	bytePool  pool.Slab[byte]  // sample planes and RGB pixels
 )
 
+//hetlint:transfer ownership moves to the Frame/RGBImage; Frame.Release / RGBImage.Release put it back
 func getCoeffSlab(n int) []int32 { return coeffPool.Get(n) }
 func putCoeffSlab(s []int32)     { coeffPool.Put(s) }
-func getByteSlab(n int) []byte   { return bytePool.Get(n) }
-func putByteSlab(s []byte)       { bytePool.Put(s) }
+
+//hetlint:transfer ownership moves to the Frame/RGBImage; Frame.Release / RGBImage.Release put it back
+func getByteSlab(n int) []byte { return bytePool.Get(n) }
+func putByteSlab(s []byte)     { bytePool.Put(s) }
 
 // PlaneInfo describes the padded sample geometry of one component.
 type PlaneInfo struct {

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBCE(t *testing.T) {
+	output := `# hetjpeg/internal/dct
+internal/dct/aan.go:34:17: Found IsSliceInBounds
+internal/dct/aan.go:51:9: Found IsInBounds
+internal/dct/aan.go:52:9: some unrelated diagnostic
+not a diagnostic line
+internal/bitstream/bitstream.go:88:3: Found IsInBounds
+`
+	got := ParseBCE(output)
+	want := []AuditLine{
+		{File: "internal/dct/aan.go", Line: 34, Col: 17, Kind: "IsSliceInBounds"},
+		{File: "internal/dct/aan.go", Line: 51, Col: 9, Kind: "IsInBounds"},
+		{File: "internal/bitstream/bitstream.go", Line: 88, Col: 3, Kind: "IsInBounds"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseBCE:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseEscape(t *testing.T) {
+	output := `internal/huffman/huffman.go:10:6: can inline New
+internal/huffman/huffman.go:22:14: inlining call to makeNode
+internal/huffman/huffman.go:30:7: h does not escape
+internal/huffman/huffman.go:41:2: moved to heap: scratch
+internal/huffman/huffman.go:55:9: &Node{...} escapes to heap
+`
+	got := ParseEscape(output)
+	want := []AuditLine{
+		{File: "internal/huffman/huffman.go", Line: 41, Col: 2, Kind: "moved-to-heap"},
+		{File: "internal/huffman/huffman.go", Line: 55, Col: 9, Kind: "escapes-to-heap"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseEscape:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSummarizeAttributesFunctions(t *testing.T) {
+	root := t.TempDir()
+	src := `package p
+
+var global = make([]int, 4)
+
+func Alpha(s []int) int {
+	return s[3]
+}
+
+type T struct{ buf []byte }
+
+func (t *T) Beta(i int) byte {
+	return t.buf[i]
+}
+`
+	if err := os.MkdirAll(filepath.Join(root, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pkg", "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := Summarize(root, []AuditLine{
+		{File: "pkg/p.go", Line: 6, Kind: "IsInBounds"},      // inside Alpha
+		{File: "pkg/p.go", Line: 6, Kind: "IsInBounds"},      // again: counts aggregate
+		{File: "pkg/p.go", Line: 12, Kind: "IsInBounds"},     // inside (*T).Beta
+		{File: "pkg/p.go", Line: 3, Kind: "escapes-to-heap"}, // package-level var
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[AuditKey]int{
+		{File: "pkg/p.go", Func: "Alpha", Kind: "IsInBounds"}:       2,
+		{File: "pkg/p.go", Func: "T.Beta", Kind: "IsInBounds"}:      1,
+		{File: "pkg/p.go", Func: "<file>", Kind: "escapes-to-heap"}: 1,
+	}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("Summarize:\n got %+v\nwant %+v", counts, want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	counts := map[AuditKey]int{
+		{File: "a/b.go", Func: "F", Kind: "IsInBounds"}:      3,
+		{File: "a/b.go", Func: "T.M", Kind: "moved-to-heap"}: 1,
+		{File: "z/y.go", Func: "<file>", Kind: "IsInBounds"}: 2,
+	}
+	text := FormatBaseline("test baseline", counts)
+	if !strings.HasPrefix(text, "# test baseline\n") {
+		t.Errorf("missing header:\n%s", text)
+	}
+	back, err := ParseBaseline(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, counts) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, counts)
+	}
+}
+
+func TestParseBaselineRejectsMalformed(t *testing.T) {
+	if _, err := ParseBaseline("a b c\n"); err == nil {
+		t.Error("want error for 3-field line")
+	}
+	if _, err := ParseBaseline("a b c notanumber\n"); err == nil {
+		t.Error("want error for non-numeric count")
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	baseline := map[AuditKey]int{
+		{File: "a.go", Func: "F", Kind: "IsInBounds"}:    2,
+		{File: "a.go", Func: "G", Kind: "IsInBounds"}:    1,
+		{File: "b.go", Func: "H", Kind: "moved-to-heap"}: 1,
+	}
+	current := map[AuditKey]int{
+		{File: "a.go", Func: "F", Kind: "IsInBounds"}: 3, // regression: count grew
+		{File: "a.go", Func: "G", Kind: "IsInBounds"}: 1, // unchanged
+		// b.go H disappeared: improvement
+		{File: "c.go", Func: "N", Kind: "IsSliceInBounds"}: 1, // regression: new site
+	}
+	regressions, improvements := DiffBaseline(baseline, current)
+	if len(regressions) != 2 {
+		t.Errorf("want 2 regressions, got %v", regressions)
+	}
+	if len(improvements) != 1 {
+		t.Errorf("want 1 improvement, got %v", improvements)
+	}
+	for _, r := range regressions {
+		if !strings.Contains(r, "->") {
+			t.Errorf("regression line missing transition: %q", r)
+		}
+	}
+}

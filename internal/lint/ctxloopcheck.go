@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoopCheck guards the cancellation contract Prepared.EntropyDecode
+// established (PR 3): a function that accepts a context.Context and
+// loops over data-sized work — MCU rows, bands, scans, images — must
+// observe ctx inside the loop, either by polling ctx.Err()/ctx.Done() or
+// by passing ctx to a callee that does. Otherwise a cancelled batch
+// keeps burning CPU until the loop drains on its own.
+//
+// Exemptions (the false-positive guards):
+//   - loops whose trip count is bounded by a compile-time constant
+//     (`for i := 0; i < 4; i++`, range over an array) are not data-sized;
+//   - loops whose body makes no function calls finish in bounded time;
+//   - a deliberate non-polling loop can be annotated `//hetlint:nopoll`
+//     with a justification.
+var CtxLoopCheck = &Analyzer{
+	Name: "ctxloopcheck",
+	Doc:  "loops in context-accepting functions must poll ctx or pass it on",
+	Run:  runCtxLoopCheck,
+}
+
+func runCtxLoopCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			ctxObjs := ctxParams(pass, fd.Type)
+			checkCtxLoops(pass, fd.Body, ctxObjs)
+			return false // checkCtxLoops recurses into nested literals itself
+		})
+	}
+	return nil
+}
+
+// ctxParams collects the non-blank context.Context parameters of a
+// function type.
+func ctxParams(pass *Pass, ft *ast.FuncType) []types.Object {
+	var objs []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// checkCtxLoops walks one function body. Nested function literals
+// inherit the enclosing context objects (a closure capturing ctx is
+// bound by the same contract) plus any of their own.
+func checkCtxLoops(pass *Pass, body *ast.BlockStmt, ctxObjs []types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCtxLoops(pass, n.Body, append(ctxParams(pass, n.Type), ctxObjs...))
+			return false
+		case *ast.ForStmt:
+			if len(ctxObjs) > 0 {
+				checkOneLoop(pass, n, n.Body, ctxObjs, constBoundFor(pass, n))
+			}
+		case *ast.RangeStmt:
+			if len(ctxObjs) > 0 {
+				checkOneLoop(pass, n, n.Body, ctxObjs, constBoundRange(pass, n))
+			}
+		}
+		return true
+	})
+}
+
+func checkOneLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, ctxObjs []types.Object, constBound bool) {
+	if constBound || pass.Annotated(loop, "nopoll") {
+		return
+	}
+	for _, obj := range ctxObjs {
+		if usesObject(pass.Info, body, obj) {
+			return // polls ctx.Err()/Done() or passes ctx to a callee
+		}
+	}
+	if !bodyHasCalls(pass, body) {
+		return // pure arithmetic loop: bounded work per element
+	}
+	pass.Reportf(loop.Pos(), "loop in a context-accepting function neither polls ctx nor passes it to a callee; a cancelled decode keeps running until the loop drains (annotate //hetlint:nopoll if deliberate)")
+}
+
+// bodyHasCalls reports whether the loop body calls any non-builtin
+// function (conversions and len/cap-style builtins do not count).
+func bodyHasCalls(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// constBoundFor reports whether the for loop's condition compares
+// against a compile-time constant (`i < 8`, `i <= workers` is not).
+func constBoundFor(pass *Pass, s *ast.ForStmt) bool {
+	b, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	return isConstExpr(pass, b.X) || isConstExpr(pass, b.Y)
+}
+
+// constBoundRange reports whether the range expression has a
+// compile-time-constant extent: an array, a pointer to array, or a
+// constant integer (range-over-int).
+func constBoundRange(pass *Pass, s *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[s.X]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil {
+		return true
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, isArray := t.Underlying().(*types.Array)
+	return isArray
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbAt
+		ok     bool
+	}{
+		{"plain text", nil, true},
+		{"a %v b", []verbAt{{'v', 0}}, true},
+		{"%v %w", []verbAt{{'v', 0}, {'w', 1}}, true},
+		{"%s%s", []verbAt{{'s', 0}, {'s', 1}}, true},
+		// A * width consumes an operand before the verb's own.
+		{"row %*d: %w", []verbAt{{'d', 1}, {'w', 2}}, true},
+		{"%.*f %v", []verbAt{{'f', 1}, {'v', 2}}, true},
+		// %% is a literal, not a verb, and consumes nothing.
+		{"100%% done: %w", []verbAt{{'w', 0}}, true},
+		// Flags and width/precision digits stick to their verb.
+		{"%+08.3f %q", []verbAt{{'f', 0}, {'q', 1}}, true},
+		// Explicit argument indexes: bail rather than misattribute.
+		{"twice: %[1]v %[1]v", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := formatVerbs(c.format)
+		if ok != c.ok {
+			t.Errorf("formatVerbs(%q): ok=%v, want %v", c.format, ok, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("formatVerbs(%q):\n got %+v\nwant %+v", c.format, got, c.want)
+		}
+	}
+}

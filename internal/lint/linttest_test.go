@@ -1,0 +1,109 @@
+package lint
+
+// Fixture-driven analyzer tests, analysistest-style: each package under
+// testdata/src/ is type-checked and analyzed, and its diagnostics are
+// matched against `// want "regexp"` comments on the lines where they
+// must appear. Every diagnostic must be expected and every expectation
+// must fire, so the fixtures pin both the true positives and the
+// false-positive guards.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantQuotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzers over it, and
+// diffs the diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	wants := map[string][]*wantEntry{} // "file:line" -> expectations
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantQuotedRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &wantEntry{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	pkg, err := TypecheckFiles("", "fixture/"+name, fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched %q", key, w.raw)
+			}
+		}
+	}
+}
+
+func TestPoolCheckSlabFixture(t *testing.T)   { runFixture(t, "poolslab", PoolCheck) }
+func TestPoolCheckResultFixture(t *testing.T) { runFixture(t, "poolresult", PoolCheck) }
+func TestErrWrapCheckFixture(t *testing.T)    { runFixture(t, "errwrap", ErrWrapCheck) }
+func TestCtxLoopCheckFixture(t *testing.T)    { runFixture(t, "ctxloop", CtxLoopCheck) }

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// exportLookup resolves import paths to compiler export data recorded by
+// `go list -export`. It implements the lookup contract of
+// importer.ForCompiler's "gc" importer.
+type exportLookup struct {
+	exports map[string]string // import path -> export file
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// goList runs `go list -export -deps -json` over patterns in dir and
+// returns the decoded package stream.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %w", patterns, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads the packages matching patterns (resolved by the go
+// tool relative to dir; "" means the current directory), parses their
+// sources with comments and type-checks them against the compiler's
+// export data for every dependency. Dependency-only packages are loaded
+// for their types but not returned for analysis.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", (&exportLookup{exports: exports}).lookup)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typecheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles, p.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importMapper applies go list's ImportMap (vendoring renames) in front
+// of the export-data importer.
+type importMapper struct {
+	imp types.Importer
+	m   map[string]string
+}
+
+func (im *importMapper) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.m[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.imp.Import(path)
+}
+
+// typecheck parses and type-checks one package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &importMapper{imp: imp, m: importMap},
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// TypecheckFiles type-checks an in-memory set of already-parsed files as
+// one package, resolving imports through export data listed from dir.
+// The linttest fixture harness uses it to check testdata packages that
+// `go list` cannot see.
+func TypecheckFiles(dir, pkgPath string, fset *token.FileSet, files []*ast.File) (*Package, error) {
+	// Collect the fixture's imports and ask the go tool for their export
+	// data (plus transitive deps, via -deps).
+	seen := map[string]bool{}
+	var patterns []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			path = path[1 : len(path)-1] // unquote
+			if path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			patterns = append(patterns, path)
+		}
+	}
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		listed, err := goList(dir, patterns...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", (&exportLookup{exports: exports}).lookup)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: &importMapper{imp: imp}}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,721 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the slab-pool discipline the PR 1 allocation win
+// (15.9 MB/op → 0.46 MB/op) depends on:
+//
+//   - a slice obtained from pool.Slab.Get must be Put back on every
+//     return path of the acquiring function, unless the acquisition is
+//     annotated `//hetlint:transfer` to document that ownership is
+//     handed to the caller or a longer-lived structure;
+//   - a Get whose result immediately escapes (returned, stored in a
+//     struct, passed to a callee) is a handoff and must carry the same
+//     annotation;
+//   - a slab must not be used after it was Put;
+//   - in cmd/ and examples/ binaries (package main), a *hetjpeg.Result
+//     obtained from Decode must be Released on every path, and a batch
+//     loop that reads ImageResult.Res must Release it.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pool.Slab.Get/Put pairing, use-after-Put, and Result.Release coverage",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(fn ast.Node, body *ast.BlockStmt) {
+			checkFuncPools(pass, body)
+		})
+		if pass.Pkg.Name() == "main" {
+			checkBatchRangeLoops(pass, f)
+		}
+	}
+	return nil
+}
+
+// tracked is one acquisition of a pooled value in a function.
+type tracked struct {
+	obj    types.Object // the local the pooled value is bound to
+	errObj types.Object // error bound in the same assignment, if any
+	acq    ast.Stmt     // the acquiring statement
+	what   string       // "slab" or "decode result"
+}
+
+// isSlabGet reports whether call is (*pool.Slab[T]).Get.
+func isSlabGet(info *types.Info, call *ast.CallExpr) bool {
+	return methodCall(info, call, "Get", isSlabType) != nil
+}
+
+// releasesObj reports whether n contains a release of obj outside nested
+// function literals: pool.Put(obj), obj.Release(), or a deferred closure
+// doing either.
+func releasesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false // a non-deferred closure is an escape, not a release
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if methodCall(info, call, "Put", isSlabType) != nil &&
+			len(call.Args) > 0 && isObjIdent(info, call.Args[0], obj) {
+			found = true
+			return false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" &&
+			isObjIdent(info, sel.X, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isObjIdent(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+}
+
+// checkFuncPools runs the acquisition/release analysis over one function
+// body (nested function literals are separate scopes).
+func checkFuncPools(pass *Pass, body *ast.BlockStmt) {
+	var tracks []*tracked
+
+	// Find acquisitions. A Get (or, in package main, a call returning
+	// *core.Result) bound to a local starts tracking; a Get whose result
+	// is used any other way is an immediate handoff needing annotation.
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if tr := trackedFromAssign(pass, n, call, n.Lhs); tr != nil {
+				tracks = append(tracks, tr)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 {
+					continue
+				}
+				call, ok := vs.Values[0].(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				var lhs []ast.Expr
+				for _, name := range vs.Names {
+					lhs = append(lhs, name)
+				}
+				if tr := trackedFromAssign(pass, n, call, lhs); tr != nil {
+					tracks = append(tracks, tr)
+				}
+			}
+		}
+	})
+
+	// Gets not bound to a local are handoffs at birth.
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSlabGet(pass.Info, call) {
+			return
+		}
+		if acquiredBySomeTrack(tracks, call) {
+			return
+		}
+		if !pass.Annotated(call, "transfer") {
+			pass.Reportf(call.Pos(), "result of pool Get is handed off directly; annotate the handoff with //hetlint:transfer (or bind it and Put it on every path)")
+		}
+	})
+
+	for _, tr := range tracks {
+		if pass.Annotated(tr.acq, "transfer") {
+			continue
+		}
+		if pos, escaped := escapeUse(pass, body, tr); escaped {
+			pass.Reportf(pos, "%s %s escapes this function without a //hetlint:transfer annotation on its acquisition (line %d)",
+				tr.what, tr.obj.Name(), pass.Fset.Position(tr.acq.Pos()).Line)
+			continue
+		}
+		ev := &evaluator{pass: pass, tr: tr}
+		out, terminated := ev.evalStmts(body.List, state{}, nil, nil)
+		if !terminated && out.mayLeak {
+			ev.leak(body.End())
+		}
+		if len(ev.leaks) > 0 {
+			pos := pass.Fset.Position(ev.leaks[0])
+			pass.Reportf(tr.acq.Pos(), "%s %s is not released on every path: a path reaches %s:%d without %s",
+				tr.what, tr.obj.Name(), pos.Filename, pos.Line, releaseVerb(tr.what))
+		}
+		checkUseAfterRelease(pass, body, tr)
+	}
+}
+
+func releaseVerb(what string) string {
+	if what == "slab" {
+		return "Put"
+	}
+	return "Release"
+}
+
+// trackedFromAssign starts tracking when one LHS of `lhs = call` binds a
+// pooled value to a local variable.
+func trackedFromAssign(pass *Pass, stmt ast.Stmt, call *ast.CallExpr, lhs []ast.Expr) *tracked {
+	slab := isSlabGet(pass.Info, call)
+	var obj, errObj types.Object
+	what := ""
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		o := pass.Info.Defs[id]
+		if o == nil {
+			o = pass.Info.Uses[id]
+		}
+		if o == nil {
+			continue
+		}
+		v, ok := o.(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil || v.Parent() == pass.Pkg.Scope() {
+			continue // only locals are trackable
+		}
+		switch {
+		case slab && len(lhs) == 1:
+			obj, what = o, "slab"
+		case pass.Pkg.Name() == "main" && isResultPtr(o.Type()):
+			obj, what = o, "decode result"
+		case implementsError(o.Type()):
+			errObj = o
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	return &tracked{obj: obj, errObj: errObj, acq: stmt, what: what}
+}
+
+func acquiredBySomeTrack(tracks []*tracked, call *ast.CallExpr) bool {
+	for _, tr := range tracks {
+		found := false
+		ast.Inspect(tr.acq, func(n ast.Node) bool {
+			if n == ast.Node(call) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectShallow walks the statement subtree without descending into
+// nested function literals (their bodies are separate scopes).
+func inspectShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// escapeUse scans for uses that hand the tracked value beyond this
+// function: returning it, storing it anywhere but back into itself,
+// passing it to a callee (other than its release), sending it, taking
+// its address, or capturing it in a non-deferred closure.
+func escapeUse(pass *Pass, body *ast.BlockStmt, tr *tracked) (token.Pos, bool) {
+	parents := buildParents(body)
+	var escapePos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// A closure touching the value: fine when it is the body of a
+			// defer that releases it, an escape otherwise.
+			if usesObject(pass.Info, lit, tr.obj) {
+				if d, ok := parents[lit].(*ast.CallExpr); ok {
+					if ds, ok := parents[d].(*ast.DeferStmt); ok && releasesObj(pass.Info, ds.Call.Fun, tr.obj) {
+						return false
+					}
+				}
+				escapePos, found = lit.Pos(), true
+			}
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || !(pass.Info.Uses[id] == tr.obj) {
+			return true
+		}
+		if pos, esc := classifyUse(pass, parents, id, tr); esc {
+			escapePos, found = pos, true
+		}
+		return true
+	})
+	return escapePos, found
+}
+
+// classifyUse decides whether one identifier use escapes.
+func classifyUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident, tr *tracked) (token.Pos, bool) {
+	parent := parents[id]
+	for {
+		if p, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[p]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.BinaryExpr,
+		*ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+		*ast.ExprStmt, *ast.IncDecStmt, *ast.StarExpr:
+		return 0, false
+	case *ast.RangeStmt:
+		return 0, false // ranging over the value reads it
+	case *ast.CallExpr:
+		// Argument (or callee) position. Its own release and builtins
+		// that only read are fine; any other callee takes ownership.
+		if releasesObj(pass.Info, p, tr.obj) {
+			return 0, false
+		}
+		if id2, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id2].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "clear", "copy", "min", "max", "print", "println":
+					return 0, false
+				}
+			}
+			if tv, ok := pass.Info.Types[p.Fun]; ok && tv.IsType() {
+				return 0, false // conversion keeps the same backing store... but flags nothing new
+			}
+		}
+		if p.Fun == ast.Expr(id) {
+			return 0, false // calling the value (not possible for slabs/results)
+		}
+		return id.Pos(), true
+	case *ast.ReturnStmt:
+		return id.Pos(), true
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+		return id.Pos(), true
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return id.Pos(), true
+		}
+		return 0, false
+	case *ast.AssignStmt:
+		// LHS use (write) is fine. RHS: fine only when assigned back to
+		// the tracked variable itself (v = v[:0] style re-slicing).
+		for i, r := range p.Rhs {
+			if containsNode(r, id) {
+				if i < len(p.Lhs) && isObjIdent(pass.Info, p.Lhs[i], tr.obj) {
+					return 0, false
+				}
+				if len(p.Lhs) == 1 && isObjIdent(pass.Info, p.Lhs[0], tr.obj) {
+					return 0, false
+				}
+				return id.Pos(), true
+			}
+		}
+		return 0, false
+	case *ast.ValueSpec:
+		for _, v := range p.Values {
+			if containsNode(v, id) {
+				return id.Pos(), true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ---- must-release path analysis ----
+
+// state is the per-path dataflow fact: mayLeak is true when some path
+// reaching this point holds the pooled value unreleased.
+type state struct{ mayLeak bool }
+
+func merge(a, b state) state { return state{mayLeak: a.mayLeak || b.mayLeak} }
+
+type evaluator struct {
+	pass  *Pass
+	tr    *tracked
+	leaks []token.Pos
+}
+
+func (e *evaluator) leak(pos token.Pos) { e.leaks = append(e.leaks, pos) }
+
+// evalStmts walks a statement list, threading the leak state through
+// every path. brk and cont collect the states of break/continue edges of
+// the innermost enclosing loop or switch. It returns the fallthrough
+// state and whether every path terminated (returned, exited, panicked).
+func (e *evaluator) evalStmts(stmts []ast.Stmt, st state, brk, cont *[]state) (state, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = e.evalStmt(s, st, brk, cont)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (e *evaluator) evalStmt(s ast.Stmt, st state, brk, cont *[]state) (state, bool) {
+	info := e.pass.Info
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if releasesObj(info, s, e.tr.obj) {
+			return state{}, false
+		}
+		if isNoReturnCall(info, s.X) {
+			return st, true
+		}
+		return st, false
+	case *ast.DeferStmt:
+		// A deferred release covers every later exit of the function.
+		if releasesObj(info, s.Call, e.tr.obj) || releasesObj(info, s.Call.Fun, e.tr.obj) {
+			return state{}, false
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		if st.mayLeak {
+			e.leak(s.Pos())
+		}
+		return st, true
+	case *ast.AssignStmt:
+		if ast.Stmt(s) == e.tr.acq {
+			return state{mayLeak: true}, false
+		}
+		if releasesObj(info, s, e.tr.obj) {
+			return state{}, false
+		}
+		// Overwriting the variable with an unrelated value ends tracking
+		// (re-slicing v = v[:n] keeps it).
+		for i, l := range s.Lhs {
+			if isObjIdent(info, l, e.tr.obj) {
+				if i < len(s.Rhs) && usesObject(info, s.Rhs[i], e.tr.obj) {
+					continue
+				}
+				if len(s.Rhs) == 1 && usesObject(info, s.Rhs[0], e.tr.obj) {
+					continue
+				}
+				return state{}, false
+			}
+		}
+		return st, false
+	case *ast.DeclStmt:
+		if ast.Stmt(s) == e.tr.acq {
+			return state{mayLeak: true}, false
+		}
+		return st, false
+	case *ast.BlockStmt:
+		return e.evalStmts(s.List, st, brk, cont)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = e.evalStmt(s.Init, st, brk, cont)
+		}
+		thenSt, elseSt := st, st
+		// `res, err := Decode(...)` binds err alongside the result: on
+		// the err != nil branch the result is nil, nothing to release.
+		if e.tr.errObj != nil {
+			if condObjCmpNil(info, s.Cond, e.tr.errObj, token.NEQ) {
+				thenSt = state{}
+			}
+			if condObjCmpNil(info, s.Cond, e.tr.errObj, token.EQL) {
+				elseSt = state{}
+			}
+		}
+		tOut, tTerm := e.evalStmt(s.Body, thenSt, brk, cont)
+		eOut, eTerm := elseSt, false
+		if s.Else != nil {
+			eOut, eTerm = e.evalStmt(s.Else, elseSt, brk, cont)
+		}
+		switch {
+		case tTerm && eTerm:
+			return st, true
+		case tTerm:
+			return eOut, false
+		case eTerm:
+			return tOut, false
+		default:
+			return merge(tOut, eOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = e.evalStmt(s.Init, st, brk, cont)
+		}
+		var myBrk, myCont []state
+		bodyOut, _ := e.evalStmts(s.Body.List, st, &myBrk, &myCont)
+		out := merge(st, bodyOut)
+		for _, b := range myBrk {
+			out = merge(out, b)
+		}
+		for _, c := range myCont {
+			out = merge(out, c)
+		}
+		return out, false
+	case *ast.RangeStmt:
+		var myBrk, myCont []state
+		bodyOut, _ := e.evalStmts(s.Body.List, st, &myBrk, &myCont)
+		out := merge(st, bodyOut)
+		for _, b := range myBrk {
+			out = merge(out, b)
+		}
+		for _, c := range myCont {
+			out = merge(out, c)
+		}
+		return out, false
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if brk != nil {
+				*brk = append(*brk, st)
+			}
+		case token.CONTINUE:
+			if cont != nil {
+				*cont = append(*cont, st)
+			}
+		}
+		return st, true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		var initStmt ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			bodyList, initStmt = sw.Body.List, sw.Init
+		case *ast.TypeSwitchStmt:
+			bodyList, initStmt = sw.Body.List, sw.Init
+		}
+		if initStmt != nil {
+			st, _ = e.evalStmt(initStmt, st, brk, cont)
+		}
+		// break inside a case exits the switch, so collect into the
+		// switch's own outs; continue still belongs to the loop.
+		var outs []state
+		var myBrk []state
+		hasDefault := false
+		for _, c := range bodyList {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			cOut, cTerm := e.evalStmts(cc.Body, st, &myBrk, cont)
+			if !cTerm {
+				outs = append(outs, cOut)
+			}
+		}
+		outs = append(outs, myBrk...)
+		if !hasDefault {
+			outs = append(outs, st)
+		}
+		if len(outs) == 0 {
+			return st, true
+		}
+		out := outs[0]
+		for _, o := range outs[1:] {
+			out = merge(out, o)
+		}
+		return out, false
+	case *ast.SelectStmt:
+		var outs []state
+		var myBrk []state
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cOut, cTerm := e.evalStmts(cc.Body, st, &myBrk, cont)
+			if !cTerm {
+				outs = append(outs, cOut)
+			}
+		}
+		outs = append(outs, myBrk...)
+		if len(outs) == 0 {
+			return st, true
+		}
+		out := outs[0]
+		for _, o := range outs[1:] {
+			out = merge(out, o)
+		}
+		return out, false
+	case *ast.LabeledStmt:
+		return e.evalStmt(s.Stmt, st, brk, cont)
+	case *ast.GoStmt:
+		return st, false
+	default:
+		return st, false
+	}
+}
+
+// condObjCmpNil matches `obj <op> nil` and `nil <op> obj`.
+func condObjCmpNil(info *types.Info, cond ast.Expr, obj types.Object, op token.Token) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return false
+	}
+	return (isObjIdent(info, b.X, obj) && isNilExpr(info, b.Y)) ||
+		(isObjIdent(info, b.Y, obj) && isNilExpr(info, b.X))
+}
+
+// checkUseAfterRelease flags uses of a slab after a non-deferred Put in
+// the same statement list — the "no use of a slice after it is Put"
+// rule. The same-block restriction keeps branch-local releases (release
+// in one arm, use in the other) from false-positive matching.
+func checkUseAfterRelease(pass *Pass, body *ast.BlockStmt, tr *tracked) {
+	inspectShallow(body, func(n ast.Node) {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return
+		}
+		released := false
+		for _, s := range block.List {
+			if released {
+				if id := firstUse(pass, s, tr.obj); id != nil {
+					pass.Reportf(id.Pos(), "%s %s is used after it was released back to the pool", tr.what, tr.obj.Name())
+					released = false // one report per release site
+					continue
+				}
+			}
+			switch {
+			case isReleaseStmt(pass, s, tr.obj):
+				released = true
+			case reassigns(pass, s, tr.obj):
+				released = false
+			}
+		}
+	})
+}
+
+// isReleaseStmt matches a direct (non-deferred) top-level release.
+func isReleaseStmt(pass *Pass, s ast.Stmt, obj types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	return ok && releasesObj(pass.Info, es, obj)
+}
+
+func reassigns(pass *Pass, s ast.Stmt, obj types.Object) bool {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, l := range as.Lhs {
+		if isObjIdent(pass.Info, l, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func firstUse(pass *Pass, s ast.Stmt, obj types.Object) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkBatchRangeLoops enforces Release coverage for batch results in
+// binaries: a range body that reads ImageResult.Res must Release it (or
+// carry //hetlint:transfer when the results outlive the loop).
+func checkBatchRangeLoops(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := rng.Value.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || !isImageResult(obj.Type()) {
+			return true
+		}
+		readsRes, releases := false, false
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Res" && isObjIdent(pass.Info, sel.X, obj) {
+				readsRes = true
+			}
+			if sel.Sel.Name == "Release" {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok &&
+					inner.Sel.Name == "Res" && isObjIdent(pass.Info, inner.X, obj) {
+					releases = true
+				}
+			}
+			return true
+		})
+		if readsRes && !releases && !pass.Annotated(rng, "transfer") {
+			pass.Reportf(rng.Pos(), "batch loop reads %s.Res but never calls %s.Res.Release(); release each image or annotate the handoff with //hetlint:transfer", id.Name, id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,80 @@
+// Fixture for ctxloopcheck: a context-accepting function that loops
+// over data-sized work must observe ctx inside the loop. The ok*
+// functions are the false-positive guards: polling, passing ctx on,
+// constant trip counts, call-free bodies and the //hetlint:nopoll
+// annotation.
+package ctxloop
+
+import "context"
+
+func work(p []byte) {}
+
+func workCtx(ctx context.Context, p []byte) {}
+
+// drainNoPoll loops over rows without ever consulting ctx.
+func drainNoPoll(ctx context.Context, rows [][]byte) {
+	for _, r := range rows { // want "neither polls ctx nor passes it to a callee"
+		work(r)
+	}
+}
+
+// countNoPoll is the three-clause variant with a data-sized bound.
+func countNoPoll(ctx context.Context, rows [][]byte) {
+	for i := 0; i < len(rows); i++ { // want "neither polls ctx nor passes it to a callee"
+		work(rows[i])
+	}
+}
+
+// okPolls checks ctx.Err each iteration — the EntropyDecode contract.
+func okPolls(ctx context.Context, rows [][]byte) error {
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(r)
+	}
+	return nil
+}
+
+// okPasses hands ctx to the callee, which owns the polling.
+func okPasses(ctx context.Context, rows [][]byte) {
+	for _, r := range rows {
+		workCtx(ctx, r)
+	}
+}
+
+// okConstBound runs a compile-time-constant trip count: not data-sized.
+func okConstBound(ctx context.Context, rows [][]byte) {
+	for i := 0; i < 8; i++ {
+		work(rows[0])
+	}
+}
+
+// okNoCalls is pure arithmetic: bounded work per element, nothing to
+// cancel mid-flight.
+func okNoCalls(ctx context.Context, bits []int) int {
+	total := 0
+	for _, b := range bits {
+		total += b
+	}
+	return total
+}
+
+// okAnnotated documents a deliberate non-polling loop.
+func okAnnotated(ctx context.Context, rows [][]byte) {
+	//hetlint:nopoll bounded by the scan count, microseconds total
+	for _, r := range rows {
+		work(r)
+	}
+}
+
+// nestedLit: a closure inherits the enclosing function's ctx
+// obligation — goroutine bodies are where these loops usually hide.
+func nestedLit(ctx context.Context, rows [][]byte) {
+	fn := func() {
+		for _, r := range rows { // want "neither polls ctx nor passes it to a callee"
+			work(r)
+		}
+	}
+	fn()
+}

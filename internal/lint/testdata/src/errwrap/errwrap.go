@@ -1,0 +1,63 @@
+// Fixture for errwrapcheck: error values folded into fmt.Errorf must
+// use %w so errors.Is survives the wrap; %v/%s/%q re-stringify, and so
+// does interpolating err.Error(). The ok* functions guard %w, %T, the
+// * width operand and the literal %% escape.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+
+	"hetjpeg"
+)
+
+var errLocal = errors.New("local")
+
+// restringify loses the wrapped error's identity.
+func restringify(err error) error {
+	return fmt.Errorf("decode failed: %v", err) // want "error err formatted with %v; wrap it with %w"
+}
+
+// restringifySentinel loses the typed sentinel the layers above match
+// with errors.Is — the exact bug class this analyzer exists for.
+func restringifySentinel() error {
+	return fmt.Errorf("scan rejected: %s", hetjpeg.ErrUnsupported) // want "error sentinel ErrUnsupported formatted with %s"
+}
+
+// stringifyMethod is the same re-stringification with extra steps.
+func stringifyMethod(err error) error {
+	return fmt.Errorf("decode failed: %s", err.Error()) // want "interpolated into fmt.Errorf re-stringifies"
+}
+
+// okWrap is the contract being enforced.
+func okWrap(err error) error {
+	return fmt.Errorf("decode failed: %w", err)
+}
+
+// okType prints only the dynamic type, which does not pretend to keep
+// the error chain.
+func okType(err error) error {
+	return fmt.Errorf("unexpected error type %T: %w", err, errLocal)
+}
+
+// okStarWidth exercises the * width operand: the error is still
+// consumed by the %w verb, two operands later.
+func okStarWidth(width, n int, err error) error {
+	return fmt.Errorf("row %*d: %w", width, n, err)
+}
+
+// okPercentEscape exercises the literal %% escape before the verb.
+func okPercentEscape(err error) error {
+	return fmt.Errorf("100%% huffman: %w", err)
+}
+
+// okIndexedBails uses explicit argument indexes, which the checker
+// deliberately does not model — it must stay silent, not guess.
+func okIndexedBails(err error) error {
+	return fmt.Errorf("twice: %[1]v %[1]v", err)
+}
+
+// okNonError formats a plain value with %v.
+func okNonError(n int) error {
+	return fmt.Errorf("bad scale %v", n)
+}

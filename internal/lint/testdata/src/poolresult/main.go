@@ -1,0 +1,93 @@
+// Fixture for poolcheck's binary-side rules: a *hetjpeg.Result decoded
+// in package main must be Released on every path, and a batch loop
+// that reads ImageResult.Res must release each image. The ok*
+// functions guard the legitimate shapes (defer, explicit release,
+// error-only early return — the result is nil on the error path).
+package main
+
+import (
+	"fmt"
+
+	"hetjpeg"
+)
+
+// leakResult reads the result and returns without releasing it.
+func leakResult(data []byte, opts hetjpeg.Options) error {
+	res, err := hetjpeg.Decode(data, opts) // want "decode result res is not released on every path"
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TotalNs)
+	return nil
+}
+
+// okDeferred releases via defer after the error check.
+func okDeferred(data []byte, opts hetjpeg.Options) error {
+	res, err := hetjpeg.Decode(data, opts)
+	if err != nil {
+		return err
+	}
+	defer res.Release()
+	fmt.Println(res.Image.W)
+	return nil
+}
+
+// okExplicit releases once the virtual time is read; the early return
+// on the error path carries no live result.
+func okExplicit(data []byte, opts hetjpeg.Options) (float64, error) {
+	res, err := hetjpeg.Decode(data, opts)
+	if err != nil {
+		return 0, err
+	}
+	ns := res.TotalNs
+	res.Release()
+	return ns, nil
+}
+
+// leakBatchLoop reads each image's result and never releases it.
+func leakBatchLoop(datas [][]byte, opts hetjpeg.BatchOptions) {
+	res, err := hetjpeg.DecodeBatch(datas, opts)
+	if err != nil {
+		return
+	}
+	for _, ir := range res.Images { // want "batch loop reads ir.Res but never calls ir.Res.Release"
+		if ir.Err != nil {
+			continue
+		}
+		fmt.Println(ir.Res.TotalNs)
+	}
+}
+
+// okBatchLoop releases every successful image.
+func okBatchLoop(datas [][]byte, opts hetjpeg.BatchOptions) {
+	res, err := hetjpeg.DecodeBatch(datas, opts)
+	if err != nil {
+		return
+	}
+	for _, ir := range res.Images {
+		if ir.Err != nil {
+			continue
+		}
+		fmt.Println(ir.Res.TotalNs)
+		ir.Res.Release()
+	}
+}
+
+// okBatchTransfer keeps the results alive past the loop and documents
+// the handoff on the loop itself.
+func okBatchTransfer(datas [][]byte, opts hetjpeg.BatchOptions) []*hetjpeg.Result {
+	res, err := hetjpeg.DecodeBatch(datas, opts)
+	if err != nil {
+		return nil
+	}
+	var keep []*hetjpeg.Result
+	//hetlint:transfer the gallery cache owns the results now
+	for _, ir := range res.Images {
+		if ir.Err == nil {
+			keep = append(keep, ir.Res)
+		}
+	}
+	return keep
+}
+
+func main() {}

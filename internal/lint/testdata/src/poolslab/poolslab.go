@@ -1,0 +1,89 @@
+// Fixture for poolcheck's slab discipline: Get/Put pairing on all
+// paths, the //hetlint:transfer handoff annotation, escape detection
+// and use-after-Put. The ok* functions are the false-positive guards.
+package poolslab
+
+import "hetjpeg/internal/pool"
+
+var slabs pool.Slab[byte]
+
+var sink []byte
+
+func store(b []byte) { sink = b }
+
+// leakPlain drops the slab on the floor.
+func leakPlain(n int) int {
+	s := slabs.Get(n) // want "slab s is not released on every path"
+	return len(s)
+}
+
+// leakOneBranch puts the slab back on the success path only.
+func leakOneBranch(n int, fail bool) int {
+	s := slabs.Get(n) // want "slab s is not released on every path"
+	if fail {
+		return 0
+	}
+	v := int(s[0])
+	slabs.Put(s)
+	return v
+}
+
+// okDefer releases via defer — the common shape must stay clean.
+func okDefer(n int) byte {
+	s := slabs.Get(n)
+	defer slabs.Put(s)
+	s[0] = 1
+	return s[0]
+}
+
+// okAllPaths releases explicitly on both arms.
+func okAllPaths(n int, fail bool) int {
+	s := slabs.Get(n)
+	if fail {
+		slabs.Put(s)
+		return 0
+	}
+	v := int(s[0])
+	slabs.Put(s)
+	return v
+}
+
+// okTransfer hands a fresh slab to the caller; the annotation
+// documents the ownership move.
+func okTransfer(n int) []byte {
+	//hetlint:transfer the caller puts it back
+	return slabs.Get(n)
+}
+
+// escapeReturn returns a bound slab without documenting the handoff.
+func escapeReturn(n int) []byte {
+	s := slabs.Get(n)
+	s[0] = 1
+	return s // want "slab s escapes this function without a //hetlint:transfer annotation"
+}
+
+// okBoundTransfer annotates the acquisition of a slab that escapes.
+func okBoundTransfer(n int) []byte {
+	s := slabs.Get(n) //hetlint:transfer stored in the frame; Frame.Release puts it back
+	s[0] = 1
+	return s
+}
+
+// useAfterPut reads the slice after it went back to the pool.
+func useAfterPut(n int) byte {
+	s := slabs.Get(n)
+	b := s[0]
+	slabs.Put(s)
+	b += s[0] // want "slab s is used after it was released back to the pool"
+	return b
+}
+
+// handoffDirect passes an unbound Get straight to a callee.
+func handoffDirect(n int) {
+	store(slabs.Get(n)) // want "result of pool Get is handed off directly"
+}
+
+// okHandoffAnnotated is the same shape with the handoff documented.
+func okHandoffAnnotated(n int) {
+	store(slabs.Get(n)) //hetlint:transfer the sink owns it
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// namedWithSuffix reports whether t (after stripping pointers and type
+// arguments) is the named type pkgSuffix.name — e.g.
+// ("internal/pool", "Slab") matches hetjpeg/internal/pool.Slab[T].
+// Matching on a path suffix keeps the analyzers working when the module
+// is analyzed under a different module path (the linttest fixtures).
+func namedWithSuffix(t types.Type, pkgSuffix, name string) bool {
+	for {
+		t = types.Unalias(t) // hetjpeg.Result = core.Result materializes as an alias
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+func isSlabType(t types.Type) bool { return namedWithSuffix(t, "internal/pool", "Slab") }
+
+// isResultPtr reports whether t is *core.Result (re-exported as
+// hetjpeg.Result), the pooled decode result whose Release hands the
+// pixel and coefficient slabs back.
+func isResultPtr(t types.Type) bool {
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return false
+	}
+	return namedWithSuffix(t, "internal/core", "Result")
+}
+
+// isImageResult reports whether t is batch.ImageResult, one image of a
+// batch whose Res field is a pooled *core.Result.
+func isImageResult(t types.Type) bool {
+	return namedWithSuffix(t, "internal/batch", "ImageResult")
+}
+
+func isContextType(t types.Type) bool { return namedWithSuffix(t, "context", "Context") }
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// methodCall returns the method selection of call when call is
+// `recv.name(...)` and recvPred accepts the receiver type, else nil.
+func methodCall(info *types.Info, call *ast.CallExpr, name string, recvPred func(types.Type) bool) *types.Selection {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal || s.Obj().Name() != name {
+		return nil
+	}
+	if !recvPred(s.Recv()) {
+		return nil
+	}
+	return s
+}
+
+// calleeName returns "pkg.Func" for a package-level call, "T.Method" for
+// a method call, or "".
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			if obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return obj.Name()
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				t := sig.Recv().Type()
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if n, ok := t.(*types.Named); ok {
+					return n.Obj().Name() + "." + obj.Name()
+				}
+				return obj.Name()
+			}
+			if obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// noReturnCalls never return control to the caller: a leak "after" one
+// is unreachable, so path analysis treats them as clean exits.
+var noReturnCalls = map[string]bool{
+	"os.Exit":         true,
+	"log.Fatal":       true,
+	"log.Fatalf":      true,
+	"log.Fatalln":     true,
+	"log.Panic":       true,
+	"log.Panicf":      true,
+	"log.Panicln":     true,
+	"Logger.Fatal":    true,
+	"Logger.Fatalf":   true,
+	"Logger.Fatalln":  true,
+	"Logger.Panic":    true,
+	"Logger.Panicf":   true,
+	"Logger.Panicln":  true,
+	"runtime.Goexit":  true,
+	"testing.T.Fatal": true,
+}
+
+func isNoReturnCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Builtin); ok && obj.Name() == "panic" {
+			return true
+		}
+	}
+	return noReturnCalls[calleeName(info, call)]
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// usesObject reports whether any identifier in the subtree rooted at n
+// resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcBodies visits every function body in the file exactly once:
+// FuncDecl bodies and FuncLit bodies each count as one function scope.
+func funcBodies(f *ast.File, visit func(fn ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n, n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n, n.Body)
+		}
+		return true
+	})
+}
