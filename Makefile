@@ -26,7 +26,7 @@ BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
 # per scale, plus the scaled mixed-size batch workload.
 BENCH_SCALE_OUT ?= BENCH_4.json
 
-.PHONY: all build test race bench bench-batch bench-scale bench-smoke fuzz-smoke conformance cover fmt vet lint lint-baseline
+.PHONY: all build test race bench bench-batch bench-scale bench-smoke fuzz-smoke conformance conformance-faults cover fmt vet lint lint-baseline
 
 all: build
 
@@ -83,6 +83,7 @@ fuzz-smoke:
 	go test ./internal/huffman/ -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzProgressiveDecode -fuzztime=10s
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzScaledDecode -fuzztime=10s
+	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzSalvageDecode -fuzztime=10s
 
 # conformance runs the differential harness: the generated baseline +
 # progressive corpus through all modes, both schedulers and worker
@@ -91,6 +92,15 @@ fuzz-smoke:
 # against the stdlib decoder.
 conformance:
 	go test ./internal/conformance/ -v -run 'TestConformance'
+
+# conformance-faults runs the fault-injection gate: systematically
+# corrupted streams (truncation at every byte, entropy bit flips,
+# dropped/duplicated/renumbered restart markers, corrupted marker
+# lengths) must never panic, strict mode must keep failing exactly as
+# before, and salvage mode must hold its committed recovery floors with
+# byte-identical salvaged pixels across every mode and scheduler.
+conformance-faults:
+	go test ./internal/conformance/ -v -run 'TestFault'
 
 # COVER_FLOOR is the combined statement-coverage floor for the decoder
 # core packages (jpegcodec + jfif), measured across their own tests plus

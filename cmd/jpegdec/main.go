@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"image/png"
@@ -21,6 +22,11 @@ import (
 	"hetjpeg"
 	"hetjpeg/internal/core"
 )
+
+// exitSalvaged is the exit code for decodes that produced pixels but
+// lost part of the stream (-salvage): distinct from 1 (fatal error) so
+// scripts can tell "degraded output written" from "no output".
+const exitSalvaged = 3
 
 func main() {
 	log.SetFlags(0)
@@ -38,6 +44,7 @@ func main() {
 	report := flag.Bool("report", true, "print the virtual schedule breakdown")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent decodes in batch mode")
+	salvage := flag.Bool("salvage", false, "salvage partial images from corrupt streams (exit 3 when impaired)")
 	flag.Parse()
 
 	files := flag.Args()
@@ -83,7 +90,7 @@ func main() {
 	mode = mode.Resolve(model)
 
 	if len(files) > 1 {
-		decodeBatch(files, spec, model, mode, sched, scale, *workers)
+		decodeBatch(files, spec, model, mode, sched, scale, *workers, *salvage)
 		return
 	}
 
@@ -98,13 +105,20 @@ func main() {
 		ChunkRows:    *chunk,
 		SplitKernels: *split,
 		Scale:        scale,
+		Salvage:      *salvage,
 	})
-	if err != nil {
+	// Under -salvage a recoverable stream yields BOTH a usable result
+	// and an ErrPartialData error; only a nil result is fatal.
+	if res == nil {
 		log.Fatal(err)
 	}
+	salvaged := err != nil
 	// Hand the pixel and coefficient slabs back once the report and the
 	// optional PNG are written (poolcheck: release on every path).
 	defer res.Release()
+	if salvaged {
+		printSalvageReport(res.Salvage, err)
+	}
 
 	coding := "baseline"
 	if res.Stats.EntropyScans > 1 {
@@ -143,12 +157,35 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if salvaged {
+		// os.Exit skips the deferred Release, so release here first.
+		res.Release()
+		os.Exit(exitSalvaged)
+	}
+}
+
+// printSalvageReport describes a salvaged decode: what was recovered,
+// where the damage sits, and the errors that were absorbed.
+func printSalvageReport(rep *hetjpeg.SalvageReport, err error) {
+	fmt.Printf("SALVAGED: %v\n", err)
+	if rep == nil {
+		return
+	}
+	fmt.Printf("  recovered %d of %d MCUs (%d resyncs, %d damaged regions)\n",
+		rep.RecoveredMCUs, rep.TotalMCUs, rep.Resyncs, len(rep.Damaged))
+	for _, d := range rep.Damaged {
+		fmt.Printf("  damaged: MCUs %d-%d\n", d.FirstMCU, d.FirstMCU+d.NumMCU-1)
+	}
+	for _, se := range rep.Errors {
+		fmt.Printf("  scan %d: %v\n", se.Scan, se.Err)
+	}
 }
 
 // decodeBatch decodes several files as one concurrent batch. A file
 // that fails to read or decode is reported in its slot; the others
-// still decode.
-func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, mode core.Mode, sched hetjpeg.BatchScheduler, scale hetjpeg.Scale, workers int) {
+// still decode. With salvage, partially recovered images print as
+// SALVAGED and the process exits with code 3.
+func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, mode core.Mode, sched hetjpeg.BatchScheduler, scale hetjpeg.Scale, workers int, salvage bool) {
 	datas := make([][]byte, len(files))
 	readErr := make([]error, len(files))
 	for i, name := range files {
@@ -157,21 +194,28 @@ func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, m
 	start := time.Now()
 	res, err := hetjpeg.DecodeBatch(datas, hetjpeg.BatchOptions{
 		Spec: spec, Model: model, Mode: mode, Scheduler: sched, Workers: workers, Scale: scale,
+		Salvage: salvage,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
 
-	failed := 0
+	failed, salvaged := 0, 0
 	for i, ir := range res.Images {
 		switch {
 		case readErr[i] != nil:
 			failed++
 			fmt.Printf("  %-24s FAILED: %v\n", files[i], readErr[i])
-		case ir.Err != nil:
+		case ir.Res == nil:
 			failed++
 			fmt.Printf("  %-24s FAILED: %v\n", files[i], ir.Err)
+		case ir.Err != nil && errors.Is(ir.Err, hetjpeg.ErrPartialData):
+			salvaged++
+			rep := ir.Res.Salvage
+			fmt.Printf("  %-24s SALVAGED: %d of %d MCUs recovered (%d resyncs)\n",
+				files[i], rep.RecoveredMCUs, rep.TotalMCUs, rep.Resyncs)
+			ir.Res.Release()
 		default:
 			fmt.Printf("  %-24s %4dx%-4d  %7.2f ms  (gpu %d / cpu %d rows)\n",
 				files[i], ir.Res.Image.W, ir.Res.Image.H, ir.Res.TotalNs/1e6,
@@ -181,9 +225,12 @@ func decodeBatch(files []string, spec *hetjpeg.Platform, model *hetjpeg.Model, m
 			ir.Res.Release()
 		}
 	}
-	fmt.Printf("\n%d images (%d failed) on %s with %s, %d workers\n",
-		len(files), failed, spec, mode, workers)
+	fmt.Printf("\n%d images (%d failed, %d salvaged) on %s with %s, %d workers\n",
+		len(files), failed, salvaged, spec, mode, workers)
 	fmt.Printf("virtual: serial %.2f ms, overlapped %.2f ms (gain %.3fx)\n",
 		res.SerialNs/1e6, res.PipelinedNs/1e6, res.Gain())
 	fmt.Printf("wall clock: %.2f ms\n", float64(wall.Microseconds())/1000)
+	if salvaged > 0 {
+		os.Exit(exitSalvaged)
+	}
 }

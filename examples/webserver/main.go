@@ -55,6 +55,24 @@ type decodeReply struct {
 	// Unsupported distinguishes "valid JPEG, feature out of scope"
 	// (HTTP 415) from corruption (HTTP 422).
 	Unsupported bool `json:"unsupported,omitempty"`
+	// Salvaged reports a partial recovery (?salvage=1): the decode
+	// succeeded (HTTP 200, X-Hetjpeg-Salvaged: true) but some MCUs were
+	// lost; SalvageError carries the absorbed error.
+	Salvaged      bool   `json:"salvaged,omitempty"`
+	RecoveredMCUs int    `json:"recoveredMcus,omitempty"`
+	TotalMCUs     int    `json:"totalMcus,omitempty"`
+	SalvageError  string `json:"salvageError,omitempty"`
+}
+
+// salvageFromQuery enables partial-image recovery: with ?salvage=1 a
+// corrupt-but-recoverable upload returns HTTP 200 with the decoded
+// (partially gray) metadata and salvage accounting instead of 422.
+func salvageFromQuery(r *http.Request) bool {
+	switch r.URL.Query().Get("salvage") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 func (s *server) modeFromQuery(r *http.Request) (core.Mode, error) {
@@ -114,15 +132,30 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	salvage := salvageFromQuery(r)
 	start := time.Now()
 	// Resolve ModeAuto up front so the reply reports the mode that
 	// actually ran, not the sentinel.
 	mode = mode.Resolve(s.model)
-	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model, Scale: scale})
+	res, err := hetjpeg.Decode(body, hetjpeg.Options{Mode: mode, Spec: s.spec, Model: s.model, Scale: scale, Salvage: salvage})
 	reply := decodeReply{Mode: mode.String(), Platform: s.spec.Name, Scale: scale.String()}
 	// Headers must be set before the first WriteHeader call; the error
 	// replies below are JSON too.
 	w.Header().Set("Content-Type", "application/json")
+	if err != nil && res != nil {
+		// Salvaged decode: a usable (partially gray) image plus an
+		// ErrPartialData error. That is a success to an image service —
+		// 200 with the damage accounted, flagged in a header so caches
+		// and clients can tell degraded from pristine.
+		reply.Salvaged = true
+		reply.SalvageError = err.Error()
+		if rep := res.Salvage; rep != nil {
+			reply.RecoveredMCUs = rep.RecoveredMCUs
+			reply.TotalMCUs = rep.TotalMCUs
+		}
+		w.Header().Set("X-Hetjpeg-Salvaged", "true")
+		err = nil
+	}
 	if err != nil {
 		reply.Error = err.Error()
 		if errors.Is(err, hetjpeg.ErrUnsupported) {
@@ -161,6 +194,12 @@ type batchImageReply struct {
 	EntropyScans int     `json:"entropyScans,omitempty"`
 	Error        string  `json:"error,omitempty"`
 	Unsupported  bool    `json:"unsupported,omitempty"`
+	// Salvaged marks a partial recovery (?salvage=1): dimensions and
+	// stats are present, SalvageError carries the absorbed error.
+	Salvaged      bool   `json:"salvaged,omitempty"`
+	RecoveredMCUs int    `json:"recoveredMcus,omitempty"`
+	TotalMCUs     int    `json:"totalMcus,omitempty"`
+	SalvageError  string `json:"salvageError,omitempty"`
 }
 
 type batchReply struct {
@@ -170,6 +209,7 @@ type batchReply struct {
 	Workers     int               `json:"workers"`
 	Images      []batchImageReply `json:"images"`
 	Failed      int               `json:"failed"`
+	Salvaged    int               `json:"salvaged,omitempty"`
 	SerialMs    float64           `json:"serialMs"`
 	PipelinedMs float64           `json:"pipelinedMs"`
 	Gain        float64           `json:"gain"`
@@ -243,10 +283,12 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	salvage := salvageFromQuery(r)
 	start := time.Now()
 	mode = mode.Resolve(s.model) // report the mode that actually runs
 	res, err := hetjpeg.DecodeBatchContext(r.Context(), datas, hetjpeg.BatchOptions{
 		Spec: s.spec, Model: s.model, Mode: mode, Scheduler: sched, Workers: s.workers, Scale: scale,
+		Salvage: salvage,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -258,16 +300,26 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 		Platform:    s.spec.Name,
 		Workers:     s.workers,
 		Failed:      res.Failed,
+		Salvaged:    res.Salvaged,
 		SerialMs:    res.SerialNs / 1e6,
 		PipelinedMs: res.PipelinedNs / 1e6,
 		Gain:        res.Gain(),
 	}
 	for _, ir := range res.Images {
 		img := batchImageReply{Index: ir.Index}
-		if ir.Err != nil {
+		if ir.Res == nil {
 			img.Error = ir.Err.Error()
 			img.Unsupported = errors.Is(ir.Err, hetjpeg.ErrUnsupported)
 		} else {
+			if ir.Err != nil {
+				// Salvaged: usable pixels plus an ErrPartialData error.
+				img.Salvaged = true
+				img.SalvageError = ir.Err.Error()
+				if rep := ir.Res.Salvage; rep != nil {
+					img.RecoveredMCUs = rep.RecoveredMCUs
+					img.TotalMCUs = rep.TotalMCUs
+				}
+			}
 			img.Width, img.Height = ir.Res.Image.W, ir.Res.Image.H
 			img.VirtualMs = ir.Res.TotalNs / 1e6
 			img.GPUMCURows = ir.Res.Stats.GPUMCURows
@@ -276,6 +328,9 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 			ir.Res.Release()
 		}
 		reply.Images = append(reply.Images, img)
+	}
+	if res.Salvaged > 0 {
+		w.Header().Set("X-Hetjpeg-Salvaged", "true")
 	}
 	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
 	w.Header().Set("Content-Type", "application/json")

@@ -163,3 +163,114 @@ func TestBatchEndpointIsolatesUnsupportedImage(t *testing.T) {
 		t.Error("images[1].Unsupported = false: the sentinel did not survive the batch layer")
 	}
 }
+
+// salvageableJPEG truncates a restart-marker stream inside its entropy
+// data: strict decoding fails, salvage recovers a partial image.
+func salvageableJPEG(t *testing.T) []byte {
+	t.Helper()
+	img := hetjpeg.NewImage(160, 128)
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 160; x++ {
+			img.Set(x, y, byte(x*2), byte(y*2), byte(x+y))
+		}
+	}
+	data, err := hetjpeg.Encode(img, hetjpeg.EncodeOptions{
+		Quality: 85, Subsampling: hetjpeg.Sub420, RestartInterval: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data[:len(data)*3/4]
+}
+
+// TestDecodeEndpointSalvageIs200 checks the salvage status mapping:
+// without ?salvage the corrupt upload is 422; with it the same bytes
+// come back 200 with the X-Hetjpeg-Salvaged header and the salvage
+// accounting in the body.
+func TestDecodeEndpointSalvageIs200(t *testing.T) {
+	ts := testServer(t)
+	data := salvageableJPEG(t)
+
+	status, reply := postDecode(t, ts, "mode=pipeline", data)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("strict status = %d, want 422; reply %+v", status, reply)
+	}
+	if reply.Salvaged {
+		t.Error("strict reply claims salvage")
+	}
+
+	resp, err := http.Post(ts.URL+"/decode?mode=pipeline&salvage=1", "image/jpeg", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("salvage status = %d, want 200\n%s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("X-Hetjpeg-Salvaged") != "true" {
+		t.Error("X-Hetjpeg-Salvaged header missing on a salvaged decode")
+	}
+	var sreply decodeReply
+	if err := json.NewDecoder(resp.Body).Decode(&sreply); err != nil {
+		t.Fatal(err)
+	}
+	if !sreply.Salvaged || sreply.SalvageError == "" {
+		t.Fatalf("salvage reply %+v: want Salvaged with SalvageError", sreply)
+	}
+	if sreply.Width != 160 || sreply.Height != 128 {
+		t.Errorf("salvaged dimensions %dx%d, want 160x128", sreply.Width, sreply.Height)
+	}
+	if sreply.RecoveredMCUs <= 0 || sreply.RecoveredMCUs >= sreply.TotalMCUs {
+		t.Errorf("recovered %d of %d MCUs, want a strict partial recovery",
+			sreply.RecoveredMCUs, sreply.TotalMCUs)
+	}
+}
+
+// TestBatchEndpointSalvage mixes a clean and a salvageable image
+// through /batch?salvage=1 and checks the per-image salvage fields.
+func TestBatchEndpointSalvage(t *testing.T) {
+	ts := testServer(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for i, data := range [][]byte{encodeJPEG(t, 64, 48), salvageableJPEG(t)} {
+		fw, err := mw.CreateFormFile("img", []string{"good.jpg", "hurt.jpg"}[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+
+	resp, err := http.Post(ts.URL+"/batch?mode=pipeline&salvage=1", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("X-Hetjpeg-Salvaged") != "true" {
+		t.Error("X-Hetjpeg-Salvaged header missing on a salvaged batch")
+	}
+	var reply batchReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Failed != 0 || reply.Salvaged != 1 || len(reply.Images) != 2 {
+		t.Fatalf("failed=%d salvaged=%d images=%d, want 0/1/2", reply.Failed, reply.Salvaged, len(reply.Images))
+	}
+	if reply.Images[0].Salvaged || reply.Images[0].Error != "" {
+		t.Errorf("clean image misreported: %+v", reply.Images[0])
+	}
+	hurt := reply.Images[1]
+	if !hurt.Salvaged || hurt.SalvageError == "" || hurt.Width != 160 {
+		t.Errorf("salvaged image misreported: %+v", hurt)
+	}
+	if hurt.RecoveredMCUs <= 0 || hurt.RecoveredMCUs >= hurt.TotalMCUs {
+		t.Errorf("recovered %d of %d MCUs, want a strict partial recovery", hurt.RecoveredMCUs, hurt.TotalMCUs)
+	}
+}

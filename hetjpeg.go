@@ -148,6 +148,28 @@ const (
 // {1, 1/2, 1/4, 1/8}; check it with errors.Is.
 var ErrUnsupportedScale = jpegcodec.ErrUnsupportedScale
 
+// ErrPartialData marks a salvaged decode (Options.Salvage): pixels were
+// produced, but part of the stream was lost to corruption or
+// truncation. Decode returns it *alongside* a usable Result whose
+// Salvage report describes the damage; check it with errors.Is to
+// distinguish "degraded but displayable" from a total failure (Result
+// nil).
+var ErrPartialData = jpegcodec.ErrPartialData
+
+// SalvageReport accounts for a salvage-mode decode: total and recovered
+// MCU counts, resynchronization count, the damaged regions and every
+// absorbed error. Result.Salvage carries one when the decode was
+// impaired.
+type SalvageReport = jpegcodec.SalvageReport
+
+// DamagedRegion is one contiguous run of MCUs (raster order) whose
+// coefficients were lost and zeroed.
+type DamagedRegion = jpegcodec.DamagedRegion
+
+// ScanError is one absorbed error with the entropy scan it occurred in
+// (-1 for container-level parse errors).
+type ScanError = jpegcodec.ScanError
+
 // ParseScale maps a scale name ("1", "1/2", "1/4", "1/8", or the bare
 // denominators "2", "4", "8"; "" means full size) to its Scale; ok is
 // false for unknown names. Frontends should parse with this so the name
@@ -155,7 +177,10 @@ var ErrUnsupportedScale = jpegcodec.ErrUnsupportedScale
 func ParseScale(name string) (Scale, bool) { return jpegcodec.ParseScale(name) }
 
 // Decode decompresses a baseline or progressive JPEG stream under the
-// given mode.
+// given mode. With Options.Salvage set, a corrupt-but-recoverable
+// stream returns BOTH a usable Result (Result.Salvage describes the
+// damage) and an error wrapping ErrPartialData; every mode renders a
+// salvaged stream to byte-identical pixels, exactly like a clean one.
 func Decode(data []byte, opts Options) (*Result, error) { return core.Decode(data, opts) }
 
 // DecodeRGB is the convenience path: a plain single-threaded decode with
@@ -236,7 +261,10 @@ const (
 type BatchResult = batch.Result
 
 // BatchImageResult is one image of a batch. Its Err field isolates that
-// image's failure: a corrupt JPEG never aborts the batch.
+// image's failure: a corrupt JPEG never aborts the batch. Under
+// BatchOptions.Salvage a partially recovered image carries both a
+// usable Res and an Err wrapping ErrPartialData; Res == nil is the true
+// failure condition.
 type BatchImageResult = batch.ImageResult
 
 // BatchExecutor is a long-lived concurrent decode service with a
@@ -264,7 +292,9 @@ func DecodeBatch(datas [][]byte, opts BatchOptions) (*BatchResult, error) {
 }
 
 // DecodeBatchContext is DecodeBatch with cancellation: images not yet
-// decoded when ctx is cancelled report ctx.Err() in their slot.
+// decoded when ctx is cancelled report ctx.Err() in their slot, while
+// images that completed first are still delivered — every slot carries
+// a result or an error, never neither.
 func DecodeBatchContext(ctx context.Context, datas [][]byte, opts BatchOptions) (*BatchResult, error) {
 	return batch.DecodeContext(ctx, datas, opts)
 }

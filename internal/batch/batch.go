@@ -80,6 +80,12 @@ type Options struct {
 	// calibrator learns a separate back-phase rate per scale, so
 	// mixed-scale executors stay accurately sized.
 	Scale jpegcodec.Scale
+	// Salvage enables error-resilient decoding per image: a corrupt
+	// stream that can be partially recovered delivers an ImageResult
+	// with BOTH Res and Err set — Err wraps jpegcodec.ErrPartialData and
+	// Res.Salvage describes the damage. Unsalvageable images still fail
+	// as usual (Res nil).
+	Salvage bool
 }
 
 func (o Options) mode() core.Mode { return o.Mode.Resolve(o.Model) }
@@ -101,9 +107,13 @@ func (o Options) maxInflight() int {
 // ImageResult is one decoded image of the batch.
 //
 // Err records that image's failure in isolation: a corrupt JPEG never
-// aborts the batch. The other images decode normally, the failed one
-// contributes nothing to the merged timeline, and Res is nil. Callers
-// iterating a batch must therefore check Err per image.
+// aborts the batch. The other images decode normally and the failed
+// one contributes nothing to the merged timeline. With Options.Salvage
+// a partially recovered image carries BOTH a usable Res and an Err
+// wrapping jpegcodec.ErrPartialData; without it (and for images beyond
+// salvage) Err non-nil implies Res nil. Callers iterating a batch must
+// therefore check Err per image and treat Res == nil as the true
+// failure condition.
 type ImageResult struct {
 	Index int
 	Res   *core.Result
@@ -113,8 +123,12 @@ type ImageResult struct {
 // Result summarizes a batch decode.
 type Result struct {
 	Images []ImageResult
-	// Failed counts images whose Err is non-nil.
+	// Failed counts images that produced no pixels (Res is nil).
 	Failed int
+	// Salvaged counts images that decoded impaired under
+	// Options.Salvage: Res and Err are both set. Salvaged images count
+	// toward SerialNs and the merged timeline, not toward Failed.
+	Salvaged int
 	// SerialNs is the sum of per-image virtual makespans (what a naive
 	// loop would cost).
 	SerialNs float64
@@ -222,9 +236,12 @@ func (e *Executor) decodeOne(j job) ImageResult {
 		Model:         e.opts.Model,
 		DeviceWorkers: e.devWorkers,
 		Scale:         j.scale,
+		Salvage:       e.opts.Salvage,
 	})
 	if err != nil {
-		return ImageResult{Index: j.index, Err: fmt.Errorf("batch: image %d: %w", j.index, err)}
+		// A salvaged decode returns both a usable result and an error
+		// wrapping jpegcodec.ErrPartialData; pass both through.
+		return ImageResult{Index: j.index, Res: res, Err: fmt.Errorf("batch: image %d: %w", j.index, err)}
 	}
 	return ImageResult{Index: j.index, Res: res}
 }
@@ -285,7 +302,10 @@ func Decode(datas [][]byte, opts Options) (*Result, error) {
 
 // DecodeContext is Decode with cancellation: when ctx is cancelled,
 // images not yet decoded report ctx.Err() in their ImageResult.Err and
-// the call returns promptly with whatever finished.
+// the call returns promptly with whatever finished. Images that
+// completed before the cancellation are still delivered in full —
+// every slot of Result.Images is populated with either a result or an
+// error (or, salvaged, both); cancellation never yields an empty slot.
 func DecodeContext(ctx context.Context, datas [][]byte, opts Options) (*Result, error) {
 	ex, err := NewExecutor(opts)
 	if err != nil {
@@ -314,9 +334,12 @@ func DecodeContext(ctx context.Context, datas [][]byte, opts Options) (*Result, 
 	<-done
 
 	for _, ir := range out.Images {
-		if ir.Err != nil {
+		if ir.Res == nil {
 			out.Failed++
 			continue
+		}
+		if ir.Err != nil {
+			out.Salvaged++
 		}
 		out.SerialNs += ir.Res.TotalNs
 	}
@@ -332,12 +355,13 @@ func DecodeContext(ctx context.Context, datas [][]byte, opts Options) (*Result, 
 // lane is an in-order queue, so image k's kernels queue after image
 // k-1's, and each GPU task additionally waits for its dispatch. Overlap
 // emerges exactly as in the paper's Figure 5b, but across image
-// boundaries. Failed images are skipped.
+// boundaries. Failed images (no Res) are skipped; salvaged images
+// (Res and Err both set) contribute like clean ones.
 func MergeTimelines(images []ImageResult) *sim.Timeline {
 	out := sim.New()
 	var gpuPrev *sim.Task
 	for _, ir := range images {
-		if ir.Err != nil || ir.Res == nil {
+		if ir.Res == nil {
 			continue
 		}
 		dispatch := dispatchMap(ir.Res.Timeline)

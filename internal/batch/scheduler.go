@@ -326,7 +326,11 @@ func (s *bandScheduler) runEntropy(id int, j job) {
 	f := img.prep.Frame()
 	mcus := f.MCURows * f.MCUsPerRow
 	s.cal.seedFromModel(s.opts.Model, f, f.Img.EntropyDensity())
-	s.cal.entropyRate(f.Img.Progressive, f.DCOnly()).Observe(entNs / float64(mcus))
+	if img.res.Salvage == nil {
+		// A salvaged stream lost entropy bytes: its measured rate would
+		// drag the EWMA below the cost of intact traffic.
+		s.cal.entropyRate(f.Img.Progressive, f.DCOnly()).Observe(entNs / float64(mcus))
+	}
 	s.target = s.cal.inflightTarget(s.workers, s.maxInflight)
 	img.plan = jpegcodec.PlanBands(f, 0, f.MCURows, s.cal.bandRows(f, s.workers))
 	img.remaining = img.plan.Bands()
@@ -351,10 +355,11 @@ func (s *bandScheduler) entropyStage(j job) (*flightImage, float64, ImageResult)
 		return fail(err)
 	}
 	prep, err := core.Prepare(j.data, core.Options{
-		Mode:  s.opts.Mode,
-		Spec:  s.opts.Spec,
-		Model: s.opts.Model,
-		Scale: j.scale,
+		Mode:    s.opts.Mode,
+		Spec:    s.opts.Spec,
+		Model:   s.opts.Model,
+		Scale:   j.scale,
+		Salvage: s.opts.Salvage,
 	})
 	if err != nil {
 		return fail(err)
@@ -394,7 +399,10 @@ func (s *bandScheduler) runBand(t bandTask, scratch *jpegcodec.ConvertScratch) {
 	if bandErr != nil && img.err == nil {
 		img.err = bandErr
 	}
-	if bandNs > 0 {
+	if bandNs > 0 && img.res.Salvage == nil {
+		// Salvaged bands render zeroed MCUs through the DC-flat fast
+		// path — cheaper per MCU than intact pixel work, so they would
+		// skew the back-phase EWMA downward.
 		f := img.prep.Frame()
 		mcus := img.plan.BandMCURows(t.band) * f.MCUsPerRow
 		s.cal.backPerMCU.At(f.Scale).Observe(bandNs / float64(mcus))
@@ -406,8 +414,9 @@ func (s *bandScheduler) runBand(t bandTask, scratch *jpegcodec.ConvertScratch) {
 }
 
 // complete finishes an image whose last band ran: seam rows, then
-// delivery (or buffer release on failure). Called and returns with mu
-// held.
+// delivery (or buffer release on failure). A salvaged image delivers
+// with BOTH Res and Err set, matching decodeOne's contract. Called and
+// returns with mu held.
 func (s *bandScheduler) complete(img *flightImage, scratch *jpegcodec.ConvertScratch) {
 	err := img.err
 	s.mu.Unlock()
@@ -418,6 +427,9 @@ func (s *bandScheduler) complete(img *flightImage, scratch *jpegcodec.ConvertScr
 	} else {
 		img.plan.FinishSeams(img.prep.Output(), scratch)
 		ir.Res = img.res
+		if serr := img.res.Salvage.Err(); serr != nil {
+			ir.Err = fmt.Errorf("batch: image %d: %w", img.index, serr)
+		}
 	}
 	s.mu.Lock()
 	s.deliver(ir)

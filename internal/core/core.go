@@ -112,6 +112,15 @@ type Options struct {
 	// IDCT kernels, in every mode. The zero value decodes full size;
 	// invalid values fail with jpegcodec.ErrUnsupportedScale.
 	Scale jpegcodec.Scale
+	// Salvage switches the entropy stage into error-resilient mode: an
+	// entropy error resynchronizes at the next restart marker (zeroing
+	// the lost MCUs) instead of failing the decode. An impaired decode
+	// returns BOTH a usable Result (Result.Salvage describes the damage)
+	// and an error wrapping jpegcodec.ErrPartialData. Salvage lives
+	// entirely in the sequential entropy stage, so every mode and
+	// scheduler still produces byte-identical pixels. On a clean stream
+	// behavior is exactly strict mode.
+	Salvage bool
 }
 
 // Stats reports scheduling decisions.
@@ -142,6 +151,10 @@ type Result struct {
 	// denominator, Figure 11).
 	HuffNs float64
 	Stats  Stats
+	// Salvage is non-nil iff Options.Salvage was set and the stream was
+	// impaired: the decode absorbed entropy errors and the report lists
+	// what was lost. A salvaged decode's pixels are fully usable.
+	Salvage *jpegcodec.SalvageReport
 }
 
 // Release returns the decode's large buffers (coefficients, sample
@@ -160,6 +173,10 @@ func (r *Result) Release() {
 }
 
 // Decode decompresses a baseline JPEG stream under the given mode.
+// With Options.Salvage set, an impaired-but-decodable stream returns
+// BOTH a usable *Result and an error wrapping jpegcodec.ErrPartialData
+// (Result.Salvage holds the report); callers must check the Result
+// before treating the error as fatal.
 func Decode(data []byte, opts Options) (*Result, error) {
 	p, err := Prepare(data, opts)
 	if err != nil {
@@ -178,7 +195,7 @@ func Decode(data []byte, opts Options) (*Result, error) {
 		p.Release()
 		return nil, err
 	}
-	return res, nil
+	return res, res.Salvage.Err()
 }
 
 // decodeState carries one decode through its mode runner.

@@ -35,7 +35,16 @@ func Prepare(data []byte, opts Options) (*Prepared, error) {
 		return nil, errors.New("core: Options.Spec is required")
 	}
 	opts.Mode = opts.Mode.Resolve(opts.Model)
-	f, ed, err := jpegcodec.PrepareDecodeScaled(data, opts.Scale)
+	var (
+		f   *jpegcodec.Frame
+		ed  *jpegcodec.EntropyDecoder
+		err error
+	)
+	if opts.Salvage {
+		f, ed, err = jpegcodec.PrepareDecodeSalvageScaled(data, opts.Scale)
+	} else {
+		f, ed, err = jpegcodec.PrepareDecodeScaled(data, opts.Scale)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +147,9 @@ func (p *Prepared) finish(skipReal bool) (*Result, error) {
 	}
 	st.res.HuffNs = st.huffTotal()
 	st.res.TotalNs = st.res.Timeline.Makespan()
+	if rep := st.ed.SalvageReport(); rep.Impaired() {
+		st.res.Salvage = rep
+	}
 	return &st.res, nil
 }
 

@@ -1,0 +1,226 @@
+// Package faultgen deterministically corrupts JPEG streams for the
+// fault-injection conformance gate: truncations at every byte, bit
+// flips inside entropy-coded segments, dropped / duplicated / renumbered
+// restart markers, and corrupted marker segment lengths. Every
+// generator is a pure function of its inputs (a seeded xorshift
+// generator supplies "randomness"), so a failing variant reproduces
+// from its name alone.
+package faultgen
+
+import "fmt"
+
+// Fault is one corrupted variant of a stream.
+type Fault struct {
+	Name string
+	Data []byte
+}
+
+// xorshift64 is the deterministic bit source for the generators.
+func xorshift64(s uint64) uint64 {
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	return s
+}
+
+// clone copies data so faults never alias the original or each other.
+func clone(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// Span is a half-open byte range [Start, End) of a stream.
+type Span struct{ Start, End int }
+
+// EntropySpans walks the marker structure and returns the entropy-coded
+// byte range of every scan: from just past each SOS header to the next
+// non-RST marker. A malformed container yields whatever spans were
+// found before the walk lost its footing — good enough for a fault
+// generator, which only needs plausible targets.
+func EntropySpans(data []byte) []Span {
+	var spans []Span
+	i := 2 // past SOI
+	for i+3 < len(data) {
+		if data[i] != 0xFF {
+			return spans
+		}
+		m := data[i+1]
+		if m == 0xD8 || m == 0x01 || (m >= 0xD0 && m <= 0xD7) {
+			i += 2 // parameterless markers
+			continue
+		}
+		if m == 0xD9 {
+			return spans
+		}
+		seglen := int(data[i+2])<<8 | int(data[i+3])
+		if seglen < 2 || i+2+seglen > len(data) {
+			return spans
+		}
+		if m != 0xDA {
+			i += 2 + seglen
+			continue
+		}
+		// SOS: scan entropy bytes until the next real marker.
+		start := i + 2 + seglen
+		j := start
+		for j+1 < len(data) {
+			if data[j] != 0xFF {
+				j++
+				continue
+			}
+			nxt := data[j+1]
+			if nxt == 0x00 || nxt == 0xFF || (nxt >= 0xD0 && nxt <= 0xD7) {
+				j += 2
+				if nxt == 0xFF {
+					j--
+				}
+				continue
+			}
+			break
+		}
+		if j > len(data) {
+			j = len(data)
+		}
+		spans = append(spans, Span{Start: start, End: j})
+		i = j
+	}
+	return spans
+}
+
+// Truncations cuts the stream at every byte position in [from, len),
+// stepping by stride (≥1): the "connection dropped mid-transfer" family.
+func Truncations(data []byte, from, stride int) []Fault {
+	if stride < 1 {
+		stride = 1
+	}
+	if from < 0 {
+		from = 0
+	}
+	var out []Fault
+	for cut := from; cut < len(data); cut += stride {
+		out = append(out, Fault{
+			Name: fmt.Sprintf("trunc-%d", cut),
+			Data: clone(data[:cut]),
+		})
+	}
+	return out
+}
+
+// BitFlips produces n variants, each with one bit flipped at a
+// seed-determined position inside [span.Start, span.End): the "bit rot
+// in the entropy data" family. Positions landing on 0xFF or 0x00 bytes
+// are kept — marker-aliasing corruption is exactly what the decoder
+// must survive.
+func BitFlips(data []byte, span Span, n int, seed uint64) []Fault {
+	width := span.End - span.Start
+	if width <= 0 {
+		return nil
+	}
+	out := make([]Fault, 0, n)
+	s := seed | 1
+	for k := 0; k < n; k++ {
+		s = xorshift64(s)
+		pos := span.Start + int(s%uint64(width))
+		s = xorshift64(s)
+		bit := uint(s % 8)
+		d := clone(data)
+		d[pos] ^= 1 << bit
+		out = append(out, Fault{
+			Name: fmt.Sprintf("bitflip-%d.%d", pos, bit),
+			Data: d,
+		})
+	}
+	return out
+}
+
+// restartMarkerOffsets finds every RSTn marker inside the span,
+// honouring FF00 stuffing.
+func restartMarkerOffsets(data []byte, span Span) []int {
+	var offs []int
+	if span.End > len(data) {
+		span.End = len(data)
+	}
+	for i := span.Start; i+1 < span.End; i++ {
+		if data[i] != 0xFF {
+			continue
+		}
+		nxt := data[i+1]
+		if nxt == 0x00 {
+			i++
+			continue
+		}
+		if nxt >= 0xD0 && nxt <= 0xD7 {
+			offs = append(offs, i)
+			i++
+		}
+	}
+	return offs
+}
+
+// RSTMutations corrupts the restart-marker structure of the span: for
+// each marker, one variant deleting it (fusing two intervals), one
+// duplicating it, and one renumbering it (breaking the modulo-8
+// sequence). Streams without restart markers yield nil.
+func RSTMutations(data []byte, span Span) []Fault {
+	var out []Fault
+	for _, off := range restartMarkerOffsets(data, span) {
+		drop := make([]byte, 0, len(data)-2)
+		drop = append(drop, data[:off]...)
+		drop = append(drop, data[off+2:]...)
+		out = append(out, Fault{Name: fmt.Sprintf("rst-drop-%d", off), Data: drop})
+
+		dup := make([]byte, 0, len(data)+2)
+		dup = append(dup, data[:off+2]...)
+		dup = append(dup, data[off:]...)
+		out = append(out, Fault{Name: fmt.Sprintf("rst-dup-%d", off), Data: dup})
+
+		ren := clone(data)
+		ren[off+1] = 0xD0 + (ren[off+1]-0xD0+3)%8
+		out = append(out, Fault{Name: fmt.Sprintf("rst-renum-%d", off), Data: ren})
+	}
+	return out
+}
+
+// LengthCorruptions corrupts the 16-bit length field of every marker
+// segment before (and including) each SOS header: one variant growing
+// it past the end of the stream, one shrinking it to the minimum. The
+// "damaged container" family — these hit the parser, not the entropy
+// decoder.
+func LengthCorruptions(data []byte) []Fault {
+	var out []Fault
+	i := 2
+	for i+3 < len(data) {
+		if data[i] != 0xFF {
+			return out
+		}
+		m := data[i+1]
+		if m == 0xD8 || m == 0x01 || (m >= 0xD0 && m <= 0xD7) {
+			i += 2
+			continue
+		}
+		if m == 0xD9 {
+			return out
+		}
+		seglen := int(data[i+2])<<8 | int(data[i+3])
+		if seglen < 2 || i+2+seglen > len(data) {
+			return out
+		}
+
+		grow := clone(data)
+		grow[i+2], grow[i+3] = 0xFF, 0xF0
+		out = append(out, Fault{Name: fmt.Sprintf("len-grow-%#02x-%d", m, i), Data: grow})
+
+		shrink := clone(data)
+		shrink[i+2], shrink[i+3] = 0x00, 0x02
+		out = append(out, Fault{Name: fmt.Sprintf("len-shrink-%#02x-%d", m, i), Data: shrink})
+
+		if m == 0xDA {
+			// Stop after the first scan header: corrupting later scans of
+			// a progressive stream is covered by the entropy-span faults.
+			return out
+		}
+		i += 2 + seglen
+	}
+	return out
+}

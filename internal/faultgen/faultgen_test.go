@@ -1,0 +1,97 @@
+package faultgen
+
+import (
+	"bytes"
+	"testing"
+
+	"hetjpeg/internal/imagegen"
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+)
+
+func testStream(t *testing.T, ri int, progressive bool) []byte {
+	t.Helper()
+	img := imagegen.Generate(imagegen.Scene{Seed: 77, Detail: 0.6}, 96, 80)
+	defer img.Release()
+	data, err := jpegcodec.Encode(img, jpegcodec.EncodeOptions{
+		Quality:         85,
+		Subsampling:     jfif.Sub420,
+		RestartInterval: ri,
+		Progressive:     progressive,
+	})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+func TestEntropySpans(t *testing.T) {
+	base := testStream(t, 4, false)
+	spans := EntropySpans(base)
+	if len(spans) != 1 {
+		t.Fatalf("baseline stream: got %d spans, want 1", len(spans))
+	}
+	if spans[0].Start <= 0 || spans[0].End <= spans[0].Start || spans[0].End > len(base) {
+		t.Fatalf("bad span %+v for stream of %d bytes", spans[0], len(base))
+	}
+	// The span must contain the restart markers and no scan headers.
+	if n := len(restartMarkerOffsets(base, spans[0])); n == 0 {
+		t.Fatalf("no restart markers inside the entropy span")
+	}
+
+	prog := testStream(t, 0, true)
+	pspans := EntropySpans(prog)
+	if len(pspans) < 2 {
+		t.Fatalf("progressive stream: got %d spans, want one per scan (>= 2)", len(pspans))
+	}
+	for i := 1; i < len(pspans); i++ {
+		if pspans[i].Start < pspans[i-1].End {
+			t.Fatalf("spans overlap: %+v then %+v", pspans[i-1], pspans[i])
+		}
+	}
+}
+
+func TestGeneratorsDeterministicAndDistinct(t *testing.T) {
+	data := testStream(t, 4, false)
+	span := EntropySpans(data)[0]
+
+	a := BitFlips(data, span, 16, 12345)
+	b := BitFlips(data, span, 16, 12345)
+	if len(a) != 16 {
+		t.Fatalf("BitFlips returned %d faults, want 16", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("BitFlips not deterministic at %d", i)
+		}
+		if bytes.Equal(a[i].Data, data) {
+			t.Fatalf("fault %s did not change the stream", a[i].Name)
+		}
+	}
+
+	tr := Truncations(data, span.Start, 64)
+	if len(tr) == 0 {
+		t.Fatal("Truncations produced nothing")
+	}
+	for _, f := range tr {
+		if len(f.Data) >= len(data) {
+			t.Fatalf("%s: not shorter than the original", f.Name)
+		}
+	}
+
+	rst := RSTMutations(data, span)
+	if len(rst) == 0 {
+		t.Fatal("RSTMutations produced nothing for a restart-interval stream")
+	}
+	noRST := testStream(t, 0, false)
+	if s := EntropySpans(noRST); len(s) != 1 {
+		t.Fatalf("marker-free stream: got %d spans, want 1", len(s))
+	} else if g := RSTMutations(noRST, s[0]); len(g) != 0 {
+		t.Fatalf("RSTMutations on a marker-free stream produced %d faults", len(g))
+	}
+
+	lc := LengthCorruptions(data)
+	if len(lc) < 4 {
+		t.Fatalf("LengthCorruptions produced only %d faults", len(lc))
+	}
+}

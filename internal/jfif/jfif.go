@@ -256,6 +256,41 @@ func (im *Image) EntropyDensity() float64 {
 // Parse reads a baseline or progressive JPEG stream into an Image. The
 // entropy-coded segments are referenced, not copied.
 func Parse(data []byte) (*Image, error) {
+	im, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// ParseSalvage parses tolerantly: when the container is damaged after a
+// decodable prefix (a progressive stream truncated between or inside
+// scans, a corrupt marker-segment length after the first scan), it
+// returns both the partial Image and the parse error so the caller can
+// decode what survived. Baseline streams are already tolerant of
+// anything past the SOS header (Parse succeeds on them), so partial
+// images arise only for progressive streams with at least one parsed
+// scan. ErrUnsupported remains fatal — the stream is intact, merely out
+// of scope — and unsalvageable failures return (nil, err) exactly like
+// Parse.
+func ParseSalvage(data []byte) (*Image, error) {
+	im, err := parse(data)
+	if err == nil {
+		return im, nil
+	}
+	if errors.Is(err, ErrUnsupported) {
+		return nil, err
+	}
+	if im != nil && im.Progressive && len(im.Scans) > 0 {
+		return im, err
+	}
+	return nil, err
+}
+
+// parse is the marker-loop core shared by Parse and ParseSalvage: on
+// error it returns the partially-populated Image alongside the error so
+// the salvage path can judge whether anything decodable survived.
+func parse(data []byte) (*Image, error) {
 	if len(data) < 4 || data[0] != 0xFF || data[1] != MarkerSOI {
 		return nil, errors.New("jfif: missing SOI marker")
 	}
@@ -263,10 +298,10 @@ func Parse(data []byte) (*Image, error) {
 	pos := 2
 	for {
 		if pos+2 > len(data) {
-			return nil, errors.New("jfif: truncated stream")
+			return im, errors.New("jfif: truncated stream")
 		}
 		if data[pos] != 0xFF {
-			return nil, fmt.Errorf("jfif: expected marker at offset %d, found %#02x", pos, data[pos])
+			return im, fmt.Errorf("jfif: expected marker at offset %d, found %#02x", pos, data[pos])
 		}
 		marker := data[pos+1]
 		pos += 2
@@ -274,14 +309,14 @@ func Parse(data []byte) (*Image, error) {
 			if im.Progressive && len(im.Scans) > 0 {
 				return im, nil
 			}
-			return nil, errors.New("jfif: EOI before SOS")
+			return im, errors.New("jfif: EOI before SOS")
 		}
 		if pos+2 > len(data) {
-			return nil, errors.New("jfif: truncated stream")
+			return im, errors.New("jfif: truncated stream")
 		}
 		segLen := int(binary.BigEndian.Uint16(data[pos:])) // includes the two length bytes
 		if segLen < 2 || pos+segLen > len(data) {
-			return nil, fmt.Errorf("jfif: bad segment length %d for marker %#02x", segLen, marker)
+			return im, fmt.Errorf("jfif: bad segment length %d for marker %#02x", segLen, marker)
 		}
 		seg := data[pos+2 : pos+segLen]
 		pos += segLen
@@ -289,31 +324,31 @@ func Parse(data []byte) (*Image, error) {
 		switch marker {
 		case MarkerSOF0, MarkerSOF1, MarkerSOF2:
 			if im.Components != nil {
-				return nil, errors.New("jfif: multiple frame headers")
+				return im, errors.New("jfif: multiple frame headers")
 			}
 			if err := im.parseSOF(seg); err != nil {
-				return nil, err
+				return im, err
 			}
 			im.Progressive = marker == MarkerSOF2
 		case 0xC3, 0xC5, 0xC6, 0xC7, 0xC9, 0xCA, 0xCB, 0xCD, 0xCE, 0xCF:
-			return nil, unsupportedf("frame type SOF%d (only baseline SOF0/SOF1 and progressive SOF2 are decoded)", marker-MarkerSOF0)
+			return im, unsupportedf("frame type SOF%d (only baseline SOF0/SOF1 and progressive SOF2 are decoded)", marker-MarkerSOF0)
 		case MarkerDQT:
 			if err := im.parseDQT(seg); err != nil {
-				return nil, err
+				return im, err
 			}
 		case MarkerDHT:
 			if err := im.parseDHT(seg); err != nil {
-				return nil, err
+				return im, err
 			}
 		case MarkerDRI:
 			if len(seg) != 2 {
-				return nil, errors.New("jfif: bad DRI length")
+				return im, errors.New("jfif: bad DRI length")
 			}
 			im.RestartInterval = int(binary.BigEndian.Uint16(seg))
 		case MarkerSOS:
 			if !im.Progressive {
 				if err := im.parseSOS(seg); err != nil {
-					return nil, err
+					return im, err
 				}
 				// Entropy data runs to EOI; find the final FFD9.
 				end := len(data)
@@ -325,10 +360,10 @@ func Parse(data []byte) (*Image, error) {
 			}
 			sc, err := im.parseProgressiveSOS(seg)
 			if err != nil {
-				return nil, err
+				return im, err
 			}
 			if len(im.Scans) >= maxScans {
-				return nil, fmt.Errorf("jfif: more than %d scans", maxScans)
+				return im, fmt.Errorf("jfif: more than %d scans", maxScans)
 			}
 			// The scan's entropy bytes run to the next non-RST marker
 			// (RSTn markers stay inline; the bit reader consumes them).

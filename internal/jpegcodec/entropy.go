@@ -28,8 +28,20 @@ type EntropyDecoder struct {
 	r   *bitstream.Reader
 	dc  []int32 // DC predictor per component
 	row int     // next MCU row to decode
+	col int     // next MCU within the current row (salvage resume cursor)
 
 	prog *progDecoder // non-nil for progressive frames
+
+	// Salvage mode: entropy errors resynchronize at the next restart
+	// marker (zeroing the lost MCUs) instead of aborting, accumulating
+	// into report. restartsSeen tracks consumed restart markers so a
+	// found marker's modulo-8 number resolves to an absolute position;
+	// byteBase is the offset of r's current data window within
+	// Img.EntropyData after a resync re-anchors the reader.
+	salvage      bool
+	report       *SalvageReport
+	restartsSeen int
+	byteBase     int
 
 	discard bool
 	// dcOnly (baseline 1/8-scale frames) keeps only DC coefficients:
@@ -83,6 +95,24 @@ func newEntropyDecoder(f *Frame, discard bool) *EntropyDecoder {
 	return d
 }
 
+// EnableSalvage switches the decoder into salvage mode: entropy errors
+// resynchronize at the next restart marker and accumulate into rep
+// instead of aborting. Must be called before the first DecodeRows. On a
+// clean stream the decode path is bit-for-bit the strict one and rep
+// stays unimpaired.
+func (d *EntropyDecoder) EnableSalvage(rep *SalvageReport) {
+	d.salvage = true
+	d.report = rep
+	if d.prog != nil {
+		d.prog.salvage = true
+		d.prog.report = rep
+	}
+}
+
+// SalvageReport returns the report EnableSalvage installed (nil in
+// strict mode).
+func (d *EntropyDecoder) SalvageReport() *SalvageReport { return d.report }
+
 // Row returns the next MCU row index to be decoded (baseline only; a
 // progressive decode reports the current scan's row).
 func (d *EntropyDecoder) Row() int {
@@ -103,9 +133,11 @@ func (d *EntropyDecoder) Done() bool {
 // TotalRows returns the number of MCU rows in the image.
 func (d *EntropyDecoder) TotalRows() int { return d.f.MCURows }
 
-// bitPos returns the reader's position in bits, net of buffered bits.
+// bitPos returns the reader's position in bits within the full entropy
+// segment, net of buffered bits (byteBase re-anchors after a salvage
+// resync so positions stay monotone across Reader resets).
 func (d *EntropyDecoder) bitPos() int64 {
-	return int64(d.r.BytePos())*8 - int64(d.r.BitsBuffered())
+	return int64(d.byteBase+d.r.BytePos())*8 - int64(d.r.BitsBuffered())
 }
 
 // DecodeRows entropy-decodes n rows of work into the coefficient
@@ -128,10 +160,16 @@ func (d *EntropyDecoder) DecodeRows(n int) (int, error) {
 	for ; n > 0 && d.row < d.f.MCURows; n-- {
 		start := d.bitPos()
 		if err := d.decodeMCURow(d.row); err != nil {
+			if d.salvage {
+				d.salvageResync(err, start)
+				decoded++
+				continue
+			}
 			return decoded, fmt.Errorf("jpegcodec: entropy decode of MCU row %d: %w", d.row, err)
 		}
 		d.BitsPerRow = append(d.BitsPerRow, d.bitPos()-start)
 		d.row++
+		d.col = 0
 		decoded++
 	}
 	return decoded, nil
@@ -151,15 +189,34 @@ func (d *EntropyDecoder) decodeMCURow(m int) error {
 	f := d.f
 	im := f.Img
 	ri := im.RestartInterval
-	for mx := 0; mx < f.MCUsPerRow; mx++ {
+	// d.col is the resume cursor: 0 on the strict path (and after every
+	// completed row), the failing MCU's column after a salvage resync
+	// lands mid-row.
+	for ; d.col < f.MCUsPerRow; d.col++ {
+		mx := d.col
 		if ri > 0 && d.mcusSinceRestart == ri {
-			if _, err := d.r.SkipRestartMarker(); err != nil {
+			mk, err := d.r.SkipRestartMarker()
+			if err != nil {
 				return err
 			}
+			if d.salvage && int(mk-0xD0) != d.restartsSeen%8 {
+				// Salvage-only check: an out-of-sequence restart number
+				// means markers were dropped or duplicated; resync rather
+				// than decode a misaligned interval. Strict mode keeps
+				// its historical behavior (any RSTn accepted).
+				return fmt.Errorf("restart marker %#02x out of sequence (want RST%d)", mk, d.restartsSeen%8)
+			}
+			d.restartsSeen++
 			for i := range d.dc {
 				d.dc[i] = 0
 			}
 			d.mcusSinceRestart = 0
+		}
+		if d.salvage && d.r.Marker() != 0 && d.r.BitsBuffered() == 0 {
+			// Salvage-only check: real bits ran out at a pending marker
+			// with MCUs still owed before the next restart — everything
+			// further would decode synthetic zero padding.
+			return fmt.Errorf("entropy data exhausted at marker %#02x (MCU %d of restart interval)", d.r.Marker(), d.mcusSinceRestart)
 		}
 		for ci, comp := range im.Components {
 			dcTab := im.DCTables[comp.DCSel]
@@ -290,6 +347,118 @@ func extend(v uint32, t uint) int32 {
 		return int32(v) - int32(1<<t) + 1
 	}
 	return int32(v)
+}
+
+// salvageResync absorbs a baseline entropy error: record it, then scan
+// the raw entropy bytes ahead for a restart marker whose modulo-8
+// number resolves (against restartsSeen) to an MCU position past the
+// error, zero the MCUs in between, and re-anchor the reader after the
+// marker with DC predictors reset per T.81. Without a usable marker the
+// remaining MCUs are zeroed and the decode completes as a tail loss.
+// rowStart is the bit position where the failed row began (bit
+// accounting for the cost model).
+func (d *EntropyDecoder) salvageResync(err error, rowStart int64) {
+	f := d.f
+	total := f.MCUsPerRow * f.MCURows
+	errMCU := d.row*f.MCUsPerRow + d.col
+	d.report.record(0, fmt.Errorf("jpegcodec: entropy decode of MCU row %d: %w", d.row, err))
+	if ri := f.Img.RestartInterval; ri > 0 {
+		data := f.Img.EntropyData
+		for i := d.byteBase + d.r.BytePos(); i+1 < len(data); {
+			if data[i] != 0xFF {
+				i++
+				continue
+			}
+			mk := data[i+1]
+			if mk == 0x00 { // byte stuffing: entropy data
+				i += 2
+				continue
+			}
+			if mk == 0xFF { // fill byte; the marker may start here
+				i++
+				continue
+			}
+			if mk < 0xD0 || mk > 0xD7 {
+				break // a non-restart marker ends the scan: tail loss
+			}
+			// dskip = how many whole restart intervals the marker number
+			// says were lost (0 = the very next expected marker).
+			dskip := (int(mk-0xD0) - d.restartsSeen%8 + 8) % 8
+			cand := (d.restartsSeen + dskip + 1) * ri
+			if dskip > maxResyncSkip || cand <= errMCU {
+				i += 2 // stale, duplicated, or behind the error: keep scanning
+				continue
+			}
+			if cand >= total {
+				break // claims a position past the image: tail loss
+			}
+			d.zeroMCUs(errMCU, cand-errMCU)
+			d.r.Reset(data[i+2:])
+			d.byteBase = i + 2
+			for j := range d.dc {
+				d.dc[j] = 0
+			}
+			d.mcusSinceRestart = 0
+			d.restartsSeen += dskip + 1
+			d.report.Resyncs++
+			newRow := cand / f.MCUsPerRow
+			d.fillRowBits(newRow, rowStart)
+			d.row = newRow
+			d.col = cand % f.MCUsPerRow
+			return
+		}
+	}
+	d.zeroMCUs(errMCU, total-errMCU)
+	d.fillRowBits(f.MCURows, rowStart)
+	d.row = f.MCURows
+	d.col = 0
+}
+
+// fillRowBits keeps the len(BitsPerRow) == row invariant across a
+// resync that jumps rows: the failed row absorbs the bits consumed and
+// skipped during the jump, the fully-lost rows in between cost zero.
+// A resync landing within the current row appends nothing (the row's
+// entry lands when it eventually completes).
+func (d *EntropyDecoder) fillRowBits(newRow int, rowStart int64) {
+	if newRow <= d.row {
+		return
+	}
+	d.BitsPerRow = append(d.BitsPerRow, d.bitPos()-rowStart)
+	for r := d.row + 1; r < newRow; r++ {
+		d.BitsPerRow = append(d.BitsPerRow, 0)
+	}
+}
+
+// zeroMCUs clears the coefficients and sparsity watermarks of MCUs
+// [first, first+n) in raster order and records them as damaged. Pooled
+// slabs arrive zeroed, but the failing MCU may be partially written and
+// a resync can land on MCUs decoded from misinterpreted bits, so the
+// whole damaged span is cleared explicitly. NZ drops to 1 (DC-only,
+// DC = 0) so the flat fast path renders damaged blocks as mid-gray.
+func (d *EntropyDecoder) zeroMCUs(first, n int) {
+	d.report.addDamage(first, n)
+	if d.discard {
+		return
+	}
+	f := d.f
+	for u := first; u < first+n; u++ {
+		m := u / f.MCUsPerRow
+		mx := u % f.MCUsPerRow
+		for ci, comp := range f.Img.Components {
+			for v := 0; v < comp.V; v++ {
+				for h := 0; h < comp.H; h++ {
+					blk := f.Block(ci, mx*comp.H+h, m*comp.V+v)
+					for j := range blk {
+						blk[j] = 0
+					}
+					if f.NZ[ci] != nil {
+						bi := (m*comp.V+v)*f.Planes[ci].BlocksPerRow + mx*comp.H + h
+						f.NZ[ci][bi] = 1
+					}
+				}
+			}
+		}
+	}
 }
 
 // EntropyBitsTotal returns the total entropy bits consumed so far.

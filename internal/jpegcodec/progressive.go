@@ -44,9 +44,18 @@ type progDecoder struct {
 	eobrun           int     // remaining blocks of the pending EOB run
 	row              int     // next row of the current scan
 	rows             int     // total rows of the current scan
+	col              int     // next unit within the current row (salvage resume cursor)
 	wb, hb           int     // single-component scans: the component's own block grid
 	mcusSinceRestart int
 	prevBits         int64 // bit position after the previous row
+
+	// Salvage mode (see EntropyDecoder): scan errors resync at the next
+	// restart marker within the scan, or abandon the scan — prior-scan
+	// coefficients stay, so only lost first-DC coverage is damage.
+	salvage      bool
+	report       *SalvageReport
+	restartsSeen int
+	byteBase     int // offset of r's window within sc.Data after a resync
 }
 
 func newProgDecoder(f *Frame, discard bool) *progDecoder {
@@ -108,8 +117,11 @@ func (d *progDecoder) beginScan() error {
 	d.dc = make([]int32, len(sc.Comps))
 	d.eobrun = 0
 	d.row = 0
+	d.col = 0
 	d.mcusSinceRestart = 0
 	d.prevBits = 0
+	d.restartsSeen = 0
+	d.byteBase = 0
 	if sc.Interleaved() {
 		d.rows = d.f.MCURows
 	} else {
@@ -126,9 +138,10 @@ func (d *progDecoder) beginScan() error {
 	return nil
 }
 
-// bitPos returns the current scan reader's consumed-bit count.
+// bitPos returns the current scan reader's consumed-bit count within
+// the whole scan (byteBase re-anchors after a salvage resync).
 func (d *progDecoder) bitPos() int64 {
-	return int64(d.r.BytePos())*8 - int64(d.r.BitsBuffered())
+	return int64(d.byteBase+d.r.BytePos())*8 - int64(d.r.BitsBuffered())
 }
 
 // skipsScan reports whether scan i's entropy data can go unread: a
@@ -155,10 +168,23 @@ func (d *progDecoder) DecodeRows(n int) (int, error) {
 				break
 			}
 			if err := d.beginScan(); err != nil {
+				if d.salvage {
+					// The scan is structurally unusable; skip it. Later
+					// scans still decode on their own readers.
+					d.report.record(d.scanIdx, fmt.Errorf("jpegcodec: scan %d: %w", d.scanIdx, err))
+					d.scanIdx++
+					d.sc = nil
+					continue
+				}
 				return decoded, fmt.Errorf("jpegcodec: scan %d: %w", d.scanIdx, err)
 			}
 		}
 		if err := d.decodeScanRow(); err != nil {
+			if d.salvage {
+				d.salvageScanError(err)
+				decoded++
+				continue
+			}
 			return decoded, fmt.Errorf("jpegcodec: scan %d row %d: %w", d.scanIdx, d.row, err)
 		}
 		// Attribute the row's bits to its covering luma MCU row.
@@ -189,9 +215,16 @@ func (d *progDecoder) restartIfDue() error {
 	if ri <= 0 || d.mcusSinceRestart != ri {
 		return nil
 	}
-	if _, err := d.r.SkipRestartMarker(); err != nil {
+	mk, err := d.r.SkipRestartMarker()
+	if err != nil {
 		return err
 	}
+	if d.salvage && int(mk-0xD0) != d.restartsSeen%8 {
+		// Salvage-only check (see the baseline decoder): out-of-sequence
+		// restart numbers mean dropped/duplicated markers; resync.
+		return fmt.Errorf("restart marker %#02x out of sequence (want RST%d)", mk, d.restartsSeen%8)
+	}
+	d.restartsSeen++
 	for i := range d.dc {
 		d.dc[i] = 0
 	}
@@ -206,10 +239,15 @@ func (d *progDecoder) decodeScanRow() error {
 	f := d.f
 	if sc.Interleaved() {
 		// Interleaved scans exist only for DC bands (parse enforces
-		// single-component AC scans); walk the padded MCU grid.
+		// single-component AC scans); walk the padded MCU grid. d.col is
+		// the salvage resume cursor (0 on the strict path).
 		m := d.row
-		for mx := 0; mx < f.MCUsPerRow; mx++ {
+		for ; d.col < f.MCUsPerRow; d.col++ {
+			mx := d.col
 			if err := d.restartIfDue(); err != nil {
+				return err
+			}
+			if err := d.checkExhausted(); err != nil {
 				return err
 			}
 			for si, scc := range sc.Comps {
@@ -225,12 +263,17 @@ func (d *progDecoder) decodeScanRow() error {
 			}
 			d.mcusSinceRestart++
 		}
+		d.col = 0
 		return nil
 	}
 	ci := sc.Comps[0].CompIdx
 	by := d.row
-	for bx := 0; bx < d.wb; bx++ {
+	for ; d.col < d.wb; d.col++ {
+		bx := d.col
 		if err := d.restartIfDue(); err != nil {
+			return err
+		}
+		if err := d.checkExhausted(); err != nil {
 			return err
 		}
 		blk := d.block(ci, bx, by)
@@ -247,7 +290,111 @@ func (d *progDecoder) decodeScanRow() error {
 		}
 		d.mcusSinceRestart++
 	}
+	d.col = 0
 	return nil
+}
+
+// checkExhausted is the salvage-only padding guard (see the baseline
+// decoder): real bits ran out at a pending marker with units still owed
+// before the next restart. A pending EOB run exempts the check — the
+// covered blocks legitimately consume no bits, so a scan's last data
+// byte can run dry well before its restart marker is due.
+func (d *progDecoder) checkExhausted() error {
+	if d.salvage && d.eobrun == 0 && d.r.Marker() != 0 && d.r.BitsBuffered() == 0 {
+		return fmt.Errorf("entropy data exhausted at marker %#02x (unit %d of restart interval)", d.r.Marker(), d.mcusSinceRestart)
+	}
+	return nil
+}
+
+// salvageScanError absorbs an entropy error in the current scan: record
+// it, then try an intra-scan resync at the next restart marker (same
+// marker-number arithmetic as the baseline decoder, in scan units —
+// MCUs for interleaved scans, blocks for single-component ones). When
+// no usable marker exists the rest of the scan is abandoned; later
+// scans still decode. Coefficients are never zeroed — prior-scan values
+// are the best available — so only lost first-DC coverage counts as
+// damage.
+func (d *progDecoder) salvageScanError(err error) {
+	sc := d.sc
+	d.report.record(d.scanIdx, fmt.Errorf("jpegcodec: scan %d row %d: %w", d.scanIdx, d.row, err))
+	unitsPerRow := d.f.MCUsPerRow
+	if !sc.Interleaved() {
+		unitsPerRow = d.wb
+	}
+	totalUnits := unitsPerRow * d.rows
+	errUnit := d.row*unitsPerRow + d.col
+	if ri := sc.RestartInterval; ri > 0 {
+		data := sc.Data
+		for i := d.byteBase + d.r.BytePos(); i+1 < len(data); {
+			if data[i] != 0xFF {
+				i++
+				continue
+			}
+			mk := data[i+1]
+			if mk == 0x00 { // byte stuffing
+				i += 2
+				continue
+			}
+			if mk == 0xFF { // fill byte
+				i++
+				continue
+			}
+			if mk < 0xD0 || mk > 0xD7 {
+				break // non-restart marker: nothing further in this scan
+			}
+			dskip := (int(mk-0xD0) - d.restartsSeen%8 + 8) % 8
+			cand := (d.restartsSeen + dskip + 1) * ri
+			if dskip > maxResyncSkip || cand <= errUnit {
+				i += 2
+				continue
+			}
+			if cand >= totalUnits {
+				break
+			}
+			d.addDCDamage(errUnit, cand, totalUnits)
+			d.r.Reset(data[i+2:])
+			d.byteBase = i + 2
+			for j := range d.dc {
+				d.dc[j] = 0
+			}
+			d.eobrun = 0
+			d.mcusSinceRestart = 0
+			d.restartsSeen += dskip + 1
+			d.report.Resyncs++
+			d.row = cand / unitsPerRow
+			d.col = cand % unitsPerRow
+			d.prevBits = d.bitPos()
+			return
+		}
+	}
+	d.addDCDamage(errUnit, totalUnits, totalUnits)
+	d.scanIdx++
+	d.sc = nil
+	d.col = 0
+}
+
+// addDCDamage records scan units [fromUnit, toUnit) as damaged when the
+// current scan is a first DC scan — blocks that never receive their DC
+// render flat. AC and refinement losses keep prior-scan coefficients
+// and merely cap quality, so they are not damage. Interleaved units are
+// MCUs directly; single-component block units map proportionally onto
+// the MCU raster.
+func (d *progDecoder) addDCDamage(fromUnit, toUnit, totalUnits int) {
+	sc := d.sc
+	if sc.Ss != 0 || sc.Ah != 0 {
+		return
+	}
+	if sc.Interleaved() {
+		d.report.addDamage(fromUnit, toUnit-fromUnit)
+		return
+	}
+	totalMCU := d.f.MCUsPerRow * d.f.MCURows
+	first := fromUnit * totalMCU / totalUnits
+	end := (toUnit*totalMCU + totalUnits - 1) / totalUnits
+	if end > totalMCU {
+		end = totalMCU
+	}
+	d.report.addDamage(first, end-first)
 }
 
 // decodeDC handles both DC passes of scan component si: the first scan

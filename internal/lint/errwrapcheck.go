@@ -7,10 +7,13 @@ import (
 	"strings"
 )
 
-// ErrWrapCheck guards the typed-sentinel contract: ErrUnsupported and
-// ErrUnsupportedScale must survive errors.Is through every layer
-// (jpegcodec → core → batch → webserver), so an error value may only be
-// folded into a new error with %w. Formatting an error-typed argument
+// ErrWrapCheck guards the typed-sentinel contract: ErrUnsupported,
+// ErrUnsupportedScale and ErrPartialData must survive errors.Is through
+// every layer (jpegcodec → core → batch → webserver; ErrPartialData
+// additionally rides *alongside* a usable result on the salvage path,
+// where losing the sentinel would turn "degraded but displayable" into
+// "corrupt"), so an error value may only be folded into a new error
+// with %w. Formatting an error-typed argument
 // with %v/%s/%q re-stringifies it and silently breaks errors.Is; so does
 // interpolating err.Error().
 var ErrWrapCheck = &Analyzer{

@@ -61,3 +61,15 @@ func okIndexedBails(err error) error {
 func okNonError(n int) error {
 	return fmt.Errorf("bad scale %v", n)
 }
+
+// restringifyPartial loses ErrPartialData, the salvage-path sentinel
+// that must ride alongside a usable result through every layer.
+func restringifyPartial() error {
+	return fmt.Errorf("image %d: %v", 3, hetjpeg.ErrPartialData) // want "error sentinel ErrPartialData formatted with %v"
+}
+
+// okWrapPartial is the salvage-path contract: the batch layer wraps the
+// partial-data error without breaking errors.Is above it.
+func okWrapPartial() error {
+	return fmt.Errorf("image %d: %w", 3, hetjpeg.ErrPartialData)
+}
