@@ -26,7 +26,13 @@ BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
 # per scale, plus the scaled mixed-size batch workload.
 BENCH_SCALE_OUT ?= BENCH_4.json
 
-.PHONY: all build test race bench bench-batch bench-scale bench-smoke fuzz-smoke conformance conformance-faults cover fmt vet lint lint-baseline
+# The HTTP service trajectory: cmd/loadgen against an in-process
+# cmd/imaged stack — steady-state p50/p99 wall latency plus the
+# overload scenario's shed rate and degraded completions.
+BENCH_HTTP_OUT ?= BENCH_5.json
+BENCH_HTTP_TIME ?= 3s
+
+.PHONY: all build test race bench bench-batch bench-scale bench-http bench-http-smoke bench-smoke fuzz-smoke conformance conformance-faults cover fmt vet lint lint-baseline
 
 all: build
 
@@ -69,6 +75,18 @@ bench-scale:
 		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee -a bench_scale.txt
 	go run ./cmd/benchjson < bench_scale.txt > $(BENCH_SCALE_OUT)
 	@echo "wrote $(BENCH_SCALE_OUT)"
+
+# bench-http records the decode service's robustness trajectory: the
+# loadgen closed-loop scenarios (steady, overload) against an
+# in-process imaged server, summarized into $(BENCH_HTTP_OUT).
+bench-http:
+	go run ./cmd/loadgen -duration $(BENCH_HTTP_TIME) -out $(BENCH_HTTP_OUT)
+	@echo "wrote $(BENCH_HTTP_OUT)"
+
+# bench-http-smoke is the CI variant: a short run that exercises the
+# whole imaged + loadgen stack without recording its numbers.
+bench-http-smoke:
+	go run ./cmd/loadgen -duration 500ms
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once
 # (CI uses it so benchmarks can never silently rot).

@@ -33,6 +33,16 @@ type server struct {
 	spec    *hetjpeg.Platform
 	model   *hetjpeg.Model
 	workers int
+	// maxBody caps a single-image upload (0 = 64 MiB); over it the
+	// handler answers 413 with a JSON error.
+	maxBody int64
+}
+
+func (s *server) bodyLimit() int64 {
+	if s.maxBody > 0 {
+		return s.maxBody
+	}
+	return 64 << 20
 }
 
 type decodeReply struct {
@@ -62,6 +72,14 @@ type decodeReply struct {
 	RecoveredMCUs int    `json:"recoveredMcus,omitempty"`
 	TotalMCUs     int    `json:"totalMcus,omitempty"`
 	SalvageError  string `json:"salvageError,omitempty"`
+}
+
+// writeJSONError keeps rejected uploads on the same JSON contract as
+// decode replies (http.Error would answer text/plain).
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(decodeReply{Error: msg})
 }
 
 // salvageFromQuery enables partial-image recovery: with ?salvage=1 a
@@ -117,11 +135,26 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a JPEG body", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	// Check the JPEG magic from the first two bytes before buffering
+	// anything substantial: a 64 MiB PNG should be refused after 2
+	// bytes, not read to completion first.
+	limited := http.MaxBytesReader(w, r.Body, s.bodyLimit())
+	magic := make([]byte, 2)
+	if _, err := io.ReadFull(limited, magic); err != nil || magic[0] != 0xFF || magic[1] != 0xD8 {
+		writeJSONError(w, http.StatusUnsupportedMediaType, "not a JPEG (missing FF D8 SOI magic)")
 		return
 	}
+	rest, err := io.ReadAll(limited)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body := append(magic, rest...)
 	mode, err := s.modeFromQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

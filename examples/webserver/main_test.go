@@ -108,12 +108,57 @@ func TestDecodeEndpointUnsupportedIs415(t *testing.T) {
 
 func TestDecodeEndpointCorruptIs422(t *testing.T) {
 	ts := testServer(t)
-	status, reply := postDecode(t, ts, "mode=pipeline", []byte("not a jpeg at all"))
+	// Real SOI magic, then a truncated stream: corruption, not a wrong
+	// file type.
+	data := encodeJPEG(t, 64, 48)
+	status, reply := postDecode(t, ts, "mode=pipeline", data[:len(data)/2])
 	if status != http.StatusUnprocessableEntity {
 		t.Fatalf("status = %d, want 422; reply %+v", status, reply)
 	}
 	if reply.Unsupported {
 		t.Error("corruption misclassified as unsupported feature")
+	}
+}
+
+// TestDecodeEndpointNonJPEGIs415 posts bodies that are not JPEG at all:
+// the handler must refuse them from the first two bytes with a JSON 415
+// — it must not buffer megabytes of PNG first.
+func TestDecodeEndpointNonJPEGIs415(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string][]byte{
+		"png":   []byte("\x89PNG\r\n\x1a\nxxxxxxxx"),
+		"text":  []byte("not a jpeg at all"),
+		"empty": nil,
+	} {
+		status, reply := postDecode(t, ts, "mode=pipeline", body)
+		if status != http.StatusUnsupportedMediaType {
+			t.Errorf("%s body: status = %d, want 415", name, status)
+		}
+		if reply.Error == "" {
+			t.Errorf("%s body: 415 reply has no JSON error", name)
+		}
+	}
+}
+
+// TestDecodeEndpointOversizedIs413JSON drops the body cap to 1 KiB and
+// posts a larger JPEG: the MaxBytesReader trip must surface as 413 with
+// the JSON error contract, not a bare-text 400.
+func TestDecodeEndpointOversizedIs413JSON(t *testing.T) {
+	spec := hetjpeg.PlatformByName("GTX 560")
+	if spec == nil {
+		t.Fatal("platform GTX 560 missing")
+	}
+	s := &server{spec: spec, workers: 2, maxBody: 1 << 10}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decode", s.decode)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	status, reply := postDecode(t, ts, "mode=pipeline", encodeJPEG(t, 256, 256))
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; reply %+v", status, reply)
+	}
+	if reply.Error == "" {
+		t.Error("413 reply has no JSON error body")
 	}
 }
 

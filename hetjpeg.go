@@ -268,8 +268,25 @@ type BatchResult = batch.Result
 type BatchImageResult = batch.ImageResult
 
 // BatchExecutor is a long-lived concurrent decode service with a
-// streaming Submit/Results interface.
+// streaming Submit/Results interface. Beyond blocking Submit it offers
+// the service-robustness surface cmd/imaged is built on:
+// TrySubmitScaled (non-blocking admission, ErrBatchBusy when
+// saturated), QueueStats (occupancy + calibrated rates for Retry-After
+// arithmetic), and Stop (abandonment-safe shutdown that never leaks
+// workers).
 type BatchExecutor = batch.Executor
+
+// BatchQueueStats is a point-in-time snapshot of a BatchExecutor's
+// admission occupancy and calibrated ns/MCU rates.
+type BatchQueueStats = batch.QueueStats
+
+// ErrBatchClosed marks a submission to a closed BatchExecutor; check it
+// with errors.Is.
+var ErrBatchClosed = batch.ErrClosed
+
+// ErrBatchBusy marks a TrySubmitScaled refused for lack of capacity —
+// the executor's load-shedding signal; check it with errors.Is.
+var ErrBatchBusy = batch.ErrBusy
 
 // NewBatchExecutor starts a worker pool that decodes submitted images
 // concurrently and delivers them on Results in completion order.

@@ -25,6 +25,7 @@ package batch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,18 @@ import (
 	"hetjpeg/internal/platform"
 	"hetjpeg/internal/sim"
 )
+
+// ErrClosed reports a submission attempted after Close (or Stop). It is
+// a caller lifecycle error, not a per-image decode failure: nothing was
+// accepted and no ImageResult will be delivered for it. Check it with
+// errors.Is.
+var ErrClosed = errors.New("batch: executor closed")
+
+// ErrBusy reports a TrySubmitScaled refused because the executor has no
+// admission capacity right now. The image was not accepted; a service
+// front end translates this into load shedding (HTTP 429) instead of
+// queueing without bound. Check it with errors.Is.
+var ErrBusy = errors.New("batch: executor at capacity")
 
 // Scheduler selects the wall-clock execution engine of a batch decode.
 // Pixels and virtual timelines are identical across schedulers; only
@@ -168,6 +181,21 @@ type Executor struct {
 	results chan ImageResult
 	wg      sync.WaitGroup
 	once    sync.Once
+	// mu guards closed; senders counts submissions in progress so Close
+	// can close the jobs channel only once no Submit can be mid-send —
+	// Submit racing Close returns ErrClosed instead of panicking.
+	mu      sync.Mutex
+	closed  bool
+	senders sync.WaitGroup
+	// stopc is closed by Stop: undelivered results are discarded (their
+	// buffers released) instead of blocking on an absent Results reader,
+	// so abandoning Results cannot leak the worker goroutines.
+	stopc    chan struct{}
+	stopOnce sync.Once
+	// bands is the band scheduler when Options.Scheduler is
+	// SchedulerBands (nil under SchedulerPerImage); TrySubmitScaled and
+	// QueueStats consult its admission state directly.
+	bands *bandScheduler
 	// devWorkers is each decode's share of the host's device-simulation
 	// budget (SchedulerPerImage only): GOMAXPROCS split evenly across
 	// the pool width, so N concurrent decodes are hard-bounded at
@@ -195,6 +223,7 @@ func NewExecutor(opts Options) (*Executor, error) {
 		opts:    opts,
 		jobs:    make(chan job),
 		results: make(chan ImageResult, n),
+		stopc:   make(chan struct{}),
 	}
 	switch opts.Scheduler {
 	case SchedulerPerImage:
@@ -207,7 +236,8 @@ func NewExecutor(opts Options) (*Executor, error) {
 			go e.worker()
 		}
 	case SchedulerBands:
-		s := newBandScheduler(opts, n, e.results)
+		s := newBandScheduler(opts, n, e.results, e.stopc)
+		e.bands = s
 		e.wg.Add(n + 1)
 		go s.intake(e.jobs, &e.wg)
 		for i := 0; i < n; i++ {
@@ -222,7 +252,16 @@ func NewExecutor(opts Options) (*Executor, error) {
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	for j := range e.jobs {
-		e.results <- e.decodeOne(j)
+		ir := e.decodeOne(j)
+		select {
+		case e.results <- ir:
+		case <-e.stopc:
+			// Stop: the Results reader is gone; hand the pixel and
+			// coefficient slabs back instead of blocking forever.
+			if ir.Res != nil {
+				ir.Res.Release()
+			}
+		}
 	}
 }
 
@@ -251,7 +290,12 @@ func (e *Executor) decodeOne(j job) ImageResult {
 // calibrated in-flight image budget (at most Options.MaxInFlight), or,
 // under SchedulerPerImage, all workers busy with the result buffer full
 // — and returns ctx.Err() if ctx is cancelled first. Index is echoed in
-// the corresponding ImageResult. Submit must not be called after Close.
+// the corresponding ImageResult.
+//
+// Submit after Close (or racing it) returns ErrClosed; it never panics.
+// A Submit already blocked in the intake when Close lands completes
+// normally — its image counts as admitted and is decoded and delivered
+// before Results closes.
 func (e *Executor) Submit(ctx context.Context, index int, data []byte) error {
 	return e.SubmitScaled(ctx, index, data, e.opts.Scale)
 }
@@ -266,29 +310,139 @@ func (e *Executor) SubmitScaled(ctx context.Context, index int, data []byte, sca
 	if err := scale.Validate(); err != nil {
 		return fmt.Errorf("batch: %w", err)
 	}
+	if !e.beginSubmit() {
+		return ErrClosed
+	}
+	defer e.senders.Done()
 	select {
 	case e.jobs <- job{ctx: ctx, index: index, data: data, scale: scale}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-e.stopc:
+		return ErrClosed
 	}
+}
+
+// TrySubmitScaled is the non-blocking admission path: the image is
+// accepted only if the scheduler has capacity for it right now —
+// under SchedulerBands, a free slot in the calibrated in-flight budget;
+// under SchedulerPerImage, an idle worker — and otherwise the call
+// returns ErrBusy immediately without queueing. A service puts this (or
+// a bounded queue draining into Submit) in front of its request intake
+// so overload becomes explicit load shedding instead of unbounded
+// buffering. ctx is the decode's cancellation context (it is not waited
+// on here); a successful TrySubmitScaled delivers exactly one
+// ImageResult, like Submit.
+func (e *Executor) TrySubmitScaled(ctx context.Context, index int, data []byte, scale jpegcodec.Scale) error {
+	if err := scale.Validate(); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if !e.beginSubmit() {
+		return ErrClosed
+	}
+	defer e.senders.Done()
+	j := job{ctx: ctx, index: index, data: data, scale: scale}
+	if e.bands != nil {
+		if !e.bands.tryAccept(j) {
+			return ErrBusy
+		}
+		return nil
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// beginSubmit registers a submission in progress unless the executor is
+// closed. The senders gate orders every in-flight submission before
+// Close's close(e.jobs): a Submit that got in completes its send (the
+// intake is still draining), one that lost the race sees closed first.
+func (e *Executor) beginSubmit() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.senders.Add(1)
+	return true
+}
+
+// QueueStats is a point-in-time snapshot of the band scheduler's
+// occupancy and calibrated rates — what a service front end needs to
+// compute honest backpressure signals (a Retry-After from the fitted
+// ns/MCU rates, an overload watermark from InFlight vs Target). Under
+// SchedulerPerImage all fields are zero.
+type QueueStats struct {
+	// InFlight counts images between admission and result delivery.
+	InFlight int `json:"inFlight"`
+	// Target is the calibrated in-flight budget: admission blocks (and
+	// TrySubmitScaled sheds) while InFlight >= Target.
+	Target int `json:"target"`
+	// Queued counts admitted images still waiting for their entropy
+	// stage to start.
+	Queued int `json:"queued"`
+	// EntropyNsPerMCU and BackNsPerMCU are the calibrator's current
+	// ns/MCU estimates (the maximum across entropy classes and decode
+	// scales — the conservative drain-time basis); zero until seeded or
+	// observed.
+	EntropyNsPerMCU float64 `json:"entropyNsPerMcu"`
+	BackNsPerMCU    float64 `json:"backNsPerMcu"`
+	// BytesPerMCU converts pending input bytes into estimated MCUs
+	// (zero until the first image completes its entropy stage).
+	BytesPerMCU float64 `json:"bytesPerMcu"`
+}
+
+// QueueStats snapshots the scheduler's admission state. The snapshot is
+// advisory: it is stale the moment it returns, which is fine for load
+// shedding and Retry-After hints.
+func (e *Executor) QueueStats() QueueStats {
+	if e.bands == nil {
+		return QueueStats{}
+	}
+	return e.bands.queueStats()
 }
 
 // Results returns the channel on which decoded images arrive, in
 // completion order (not submission order). It is closed after Close
-// once all in-flight decodes have drained.
+// once all in-flight decodes have drained. Callers must drain Results
+// until it closes (or call Stop): the scheduler's workers block
+// delivering to an absent reader.
 func (e *Executor) Results() <-chan ImageResult { return e.results }
 
 // Close stops accepting submissions and, once the in-flight decodes
-// drain, closes the Results channel. It does not block.
+// drain, closes the Results channel. It does not block. Submissions
+// racing Close either complete (their images are decoded and delivered
+// before Results closes) or return ErrClosed; the jobs channel is
+// closed only after no submission can be mid-send, so the race never
+// panics.
 func (e *Executor) Close() {
 	e.once.Do(func() {
-		close(e.jobs)
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
 		go func() {
+			e.senders.Wait()
+			close(e.jobs)
 			e.wg.Wait()
 			close(e.results)
 		}()
 	})
+}
+
+// Stop is the abandonment-safe shutdown: Close plus discarding. A
+// caller that walked away from Results mid-stream calls Stop instead of
+// Close; undelivered results are released back to the slab pools
+// instead of blocking the workers on a send nobody receives, blocked
+// Submit calls return ErrClosed, and every worker goroutine exits (the
+// no-leak guarantee). Results still closes once the pipeline drains, so
+// a racing reader sees a clean end of stream rather than a hang.
+func (e *Executor) Stop() {
+	e.stopOnce.Do(func() { close(e.stopc) })
+	e.Close()
 }
 
 // Decode decodes the images concurrently (bounded by Options.Workers),

@@ -1,0 +1,257 @@
+package batch
+
+// Lifecycle-contract coverage for the Executor: Submit racing Close
+// must never panic (no send on a closed channel — ErrClosed instead),
+// a caller that abandons Results must have a no-leak escape hatch
+// (Stop), and the non-blocking TrySubmitScaled admission path must shed
+// honestly when the scheduler is saturated. CI runs these under -race
+// explicitly.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/jpegcodec"
+	"hetjpeg/internal/platform"
+)
+
+func executorOpts(sched Scheduler, workers, maxInflight int) Options {
+	return Options{
+		Spec:        platform.GTX560(),
+		Mode:        core.ModePipelinedGPU,
+		Workers:     workers,
+		Scheduler:   sched,
+		MaxInFlight: maxInflight,
+	}
+}
+
+func TestSubmitAfterCloseReturnsErrClosed(t *testing.T) {
+	for _, sched := range []Scheduler{SchedulerBands, SchedulerPerImage} {
+		ex, err := NewExecutor(executorOpts(sched, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Close()
+		if err := ex.Submit(context.Background(), 0, corpus(t, 1)[0]); !errors.Is(err, ErrClosed) {
+			t.Errorf("scheduler %d: Submit after Close: got %v, want ErrClosed", sched, err)
+		}
+		if err := ex.TrySubmitScaled(context.Background(), 1, corpus(t, 1)[0], jpegcodec.Scale1); !errors.Is(err, ErrClosed) {
+			t.Errorf("scheduler %d: TrySubmit after Close: got %v, want ErrClosed", sched, err)
+		}
+		for range ex.Results() {
+			t.Error("unexpected result from empty executor")
+		}
+	}
+}
+
+// TestSubmitRacesClose hammers the Submit/Close race: every Submit must
+// either be admitted (and its result delivered exactly once before
+// Results closes) or return ErrClosed — never panic, never vanish.
+func TestSubmitRacesClose(t *testing.T) {
+	data := corpus(t, 1)[0]
+	for _, sched := range []Scheduler{SchedulerBands, SchedulerPerImage} {
+		for round := 0; round < 4; round++ {
+			ex, err := NewExecutor(executorOpts(sched, 2, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const submitters = 8
+			var admitted, refused atomic.Int64
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for g := 0; g < submitters; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					<-start
+					err := ex.Submit(context.Background(), g, data)
+					switch {
+					case err == nil:
+						admitted.Add(1)
+					case errors.Is(err, ErrClosed):
+						refused.Add(1)
+					default:
+						t.Errorf("unexpected Submit error: %v", err)
+					}
+				}(g)
+			}
+			delivered := make(chan int)
+			go func() {
+				n := 0
+				for range ex.Results() {
+					n++
+				}
+				delivered <- n
+			}()
+			close(start)
+			// No sleep: Close lands while some submits are mid-flight.
+			ex.Close()
+			wg.Wait()
+			got := <-delivered
+			if int64(got) != admitted.Load() {
+				t.Fatalf("scheduler %d: %d submits admitted but %d results delivered", sched, admitted.Load(), got)
+			}
+			if admitted.Load()+refused.Load() != submitters {
+				t.Fatalf("scheduler %d: %d admitted + %d refused != %d submitters", sched, admitted.Load(), refused.Load(), submitters)
+			}
+		}
+	}
+}
+
+// TestStopReleasesAbandonedResults abandons Results entirely: without
+// Stop the workers would park forever on the results send; with it they
+// must all exit (no goroutine leak) and Results must still close.
+func TestStopReleasesAbandonedResults(t *testing.T) {
+	datas := corpus(t, 6)
+	for _, sched := range []Scheduler{SchedulerBands, SchedulerPerImage} {
+		before := runtime.NumGoroutine()
+		ex, err := NewExecutor(executorOpts(sched, 2, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Submit from a goroutine: with nobody reading Results the
+		// pipeline clogs, so later Submits block — exactly the state an
+		// abandoning caller leaves behind. Stop must unblock them (they
+		// return ErrClosed) and drain the rest.
+		ctx := context.Background()
+		submitsDone := make(chan struct{})
+		go func() {
+			defer close(submitsDone)
+			for i, d := range datas {
+				if err := ex.Submit(ctx, i, d); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("submit %d: %v", i, err)
+				}
+			}
+		}()
+		// Deliberately never read Results; give some decodes time to
+		// land in the results buffer before abandoning.
+		time.Sleep(100 * time.Millisecond)
+		ex.Stop()
+		select {
+		case <-submitsDone:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("scheduler %d: Submit still blocked after Stop", sched)
+		}
+		// Results must still close so a late reader cannot hang.
+		select {
+		case _, ok := <-waitClosed(ex.Results()):
+			if ok {
+				t.Fatal("waitClosed misbehaved")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("scheduler %d: Results did not close after Stop", sched)
+		}
+		// All worker goroutines must exit. Allow the runtime a moment to
+		// retire them before declaring a leak.
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > before {
+			t.Errorf("scheduler %d: %d goroutines before, %d after Stop (leak)", sched, before, n)
+		}
+	}
+}
+
+// waitClosed adapts "channel closed" into a selectable event: the
+// returned channel closes once every pending result has been discarded
+// and the executor closed its Results channel.
+func waitClosed(results <-chan ImageResult) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		for range results {
+			// Discard: Stop may still deliver a few racing results.
+		}
+		close(done)
+	}()
+	return done
+}
+
+// TestTrySubmitShedsWhenSaturated clogs the pipeline (no Results
+// reader, 1 worker) and asserts the non-blocking path starts refusing
+// with ErrBusy instead of blocking — the admission behavior a shedding
+// front end depends on.
+func TestTrySubmitShedsWhenSaturated(t *testing.T) {
+	data := corpus(t, 1)[0]
+	ex, err := NewExecutor(executorOpts(SchedulerBands, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	ctx := context.Background()
+	sawBusy := false
+	for i := 0; i < 200 && !sawBusy; i++ {
+		err := ex.TrySubmitScaled(ctx, i, data, jpegcodec.Scale1)
+		switch {
+		case err == nil:
+			// Accepted: the in-flight budget had room.
+		case errors.Is(err, ErrBusy):
+			sawBusy = true
+		default:
+			t.Fatalf("TrySubmitScaled: %v", err)
+		}
+	}
+	if !sawBusy {
+		t.Fatal("TrySubmitScaled never shed on a clogged 1-worker executor")
+	}
+	if err := ex.TrySubmitScaled(ctx, 0, data, jpegcodec.Scale(3)); !errors.Is(err, jpegcodec.ErrUnsupportedScale) {
+		t.Errorf("bad scale: got %v, want ErrUnsupportedScale", err)
+	}
+}
+
+// TestQueueStatsCalibrates decodes a small batch and checks the
+// introspection snapshot: rates seeded by real observations, occupancy
+// back to zero once drained — the inputs a service needs for honest
+// Retry-After arithmetic.
+func TestQueueStatsCalibrates(t *testing.T) {
+	datas := corpus(t, 4)
+	ex, err := NewExecutor(executorOpts(SchedulerBands, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ex.QueueStats(); s.Target < minInflight {
+		t.Errorf("cold target %d below minInflight", s.Target)
+	}
+	ctx := context.Background()
+	go func() {
+		for i, d := range datas {
+			if err := ex.Submit(ctx, i, d); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}
+		ex.Close()
+	}()
+	for ir := range ex.Results() {
+		if ir.Err != nil {
+			t.Errorf("image %d: %v", ir.Index, ir.Err)
+		}
+		if ir.Res != nil {
+			ir.Res.Release()
+		}
+	}
+	s := ex.QueueStats()
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("drained executor reports occupancy %+v", s)
+	}
+	if s.EntropyNsPerMCU <= 0 || s.BackNsPerMCU <= 0 || s.BytesPerMCU <= 0 {
+		t.Errorf("calibrated rates not observed: %+v", s)
+	}
+	// Per-image scheduler has no calibrator: stats must be zero, not junk.
+	exP, err := NewExecutor(executorOpts(SchedulerPerImage, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exP.Close()
+	if s := exP.QueueStats(); s != (QueueStats{}) {
+		t.Errorf("per-image QueueStats = %+v, want zero", s)
+	}
+	for range exP.Results() {
+	}
+}

@@ -78,7 +78,12 @@ type calibrator struct {
 	entPerMCUProg perfmodel.OnlineRate  // stage 1: progressive (multi-scan) entropy ns per MCU
 	entPerMCUDC   perfmodel.OnlineRate  // stage 1: DC-only (baseline 1/8 scale) entropy ns per MCU
 	backPerMCU    perfmodel.ScaledRates // stage 2: back-phase ns per MCU, per decode scale
-	seeded        bool
+	// bytesPerMCU converts input bytes into estimated MCU counts — the
+	// bridge a service needs to turn "this many bytes are pending" into
+	// "this long until the queue drains" (Retry-After) using the ns/MCU
+	// rates above. Observed per intact image at entropy completion.
+	bytesPerMCU perfmodel.OnlineRate
+	seeded      bool
 }
 
 // entropyRate returns the EWMA matching the image class.
@@ -219,6 +224,9 @@ type bandScheduler struct {
 	workers     int
 	maxInflight int
 	results     chan<- ImageResult
+	// stopc mirrors Executor.stopc: once closed, deliveries to an
+	// abandoned Results reader are discarded instead of blocking.
+	stopc <-chan struct{}
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -230,17 +238,50 @@ type bandScheduler struct {
 	cal        calibrator
 }
 
-func newBandScheduler(opts Options, workers int, results chan<- ImageResult) *bandScheduler {
+func newBandScheduler(opts Options, workers int, results chan<- ImageResult, stopc <-chan struct{}) *bandScheduler {
 	s := &bandScheduler{
 		opts:        opts,
 		workers:     workers,
 		maxInflight: opts.maxInflight(),
 		results:     results,
+		stopc:       stopc,
 		deques:      make([][]bandTask, workers),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.target = s.cal.inflightTarget(workers, s.maxInflight)
 	return s
+}
+
+// tryAccept admits one job iff the in-flight budget has room right now,
+// bypassing the intake goroutine's blocking wait — the non-blocking
+// admission behind Executor.TrySubmitScaled. The Executor's senders
+// gate guarantees no tryAccept runs after intakeDone is set, so the
+// workers' exit condition (intakeDone && inflight == 0) stays sound.
+func (s *bandScheduler) tryAccept(j job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight >= s.target {
+		return false
+	}
+	s.inflight++
+	s.entropyQ = append(s.entropyQ, j)
+	s.cond.Broadcast()
+	return true
+}
+
+// queueStats snapshots occupancy and calibration under the scheduling
+// lock.
+func (s *bandScheduler) queueStats() QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return QueueStats{
+		InFlight:        s.inflight,
+		Target:          s.target,
+		Queued:          len(s.entropyQ),
+		EntropyNsPerMCU: s.cal.entropyEstimate(),
+		BackNsPerMCU:    s.cal.backPerMCU.Max(),
+		BytesPerMCU:     s.cal.bytesPerMCU.Value(),
+	}
 }
 
 // intake accepts submitted jobs into the pipeline, blocking while the
@@ -330,6 +371,7 @@ func (s *bandScheduler) runEntropy(id int, j job) {
 		// A salvaged stream lost entropy bytes: its measured rate would
 		// drag the EWMA below the cost of intact traffic.
 		s.cal.entropyRate(f.Img.Progressive, f.DCOnly()).Observe(entNs / float64(mcus))
+		s.cal.bytesPerMCU.Observe(float64(len(j.data)) / float64(mcus))
 	}
 	s.target = s.cal.inflightTarget(s.workers, s.maxInflight)
 	img.plan = jpegcodec.PlanBands(f, 0, f.MCURows, s.cal.bandRows(f, s.workers))
@@ -436,10 +478,18 @@ func (s *bandScheduler) complete(img *flightImage, scratch *jpegcodec.ConvertScr
 }
 
 // deliver sends one result and retires its in-flight slot. Called and
-// returns with mu held (the send itself is unlocked).
+// returns with mu held (the send itself is unlocked). After Stop the
+// Results reader may be gone: the result is discarded and its buffers
+// released so the pipeline always drains.
 func (s *bandScheduler) deliver(ir ImageResult) {
 	s.mu.Unlock()
-	s.results <- ir
+	select {
+	case s.results <- ir:
+	case <-s.stopc:
+		if ir.Res != nil {
+			ir.Res.Release()
+		}
+	}
 	s.mu.Lock()
 	s.inflight--
 	s.cond.Broadcast()

@@ -1,0 +1,86 @@
+package imaged
+
+import (
+	"context"
+	"sync"
+
+	"hetjpeg"
+)
+
+// dispatcher multiplexes the executor's completion-order Results stream
+// back to per-request handler goroutines: each decode registers a
+// buffered reply channel under a fresh index before submitting, and one
+// routing goroutine fans results out by index. The executor's delivery
+// contract — every successfully submitted index is answered exactly
+// once, even through cancellation and Close — is what makes the waiter
+// map leak-free.
+type dispatcher struct {
+	ex *hetjpeg.BatchExecutor
+
+	mu      sync.Mutex
+	next    int
+	waiters map[int]chan hetjpeg.BatchImageResult
+
+	done chan struct{} // closed when the routing loop drains
+}
+
+func newDispatcher(ex *hetjpeg.BatchExecutor) *dispatcher {
+	d := &dispatcher{
+		ex:      ex,
+		waiters: make(map[int]chan hetjpeg.BatchImageResult),
+		done:    make(chan struct{}),
+	}
+	go d.route()
+	return d
+}
+
+// route delivers every executor result to its waiting request. A result
+// without a waiter can only be one whose submission error already made
+// the handler give up (it unregistered first), so its buffers are
+// released rather than leaked.
+func (d *dispatcher) route() {
+	defer close(d.done)
+	for ir := range d.ex.Results() {
+		d.mu.Lock()
+		ch := d.waiters[ir.Index]
+		delete(d.waiters, ir.Index)
+		d.mu.Unlock()
+		if ch == nil {
+			if ir.Res != nil {
+				ir.Res.Release()
+			}
+			continue
+		}
+		ch <- ir // buffered: the routing loop never blocks on a handler
+	}
+}
+
+// decode submits one image and waits for its result. The wait itself is
+// unbounded on purpose: ctx flows into the decode (the entropy stage
+// polls it every 32 MCU rows, every back-phase band checks it), so a
+// deadline aborts the decode machinery and the result — carrying ctx's
+// error — arrives promptly rather than the handler abandoning a decode
+// that keeps burning CPU.
+func (d *dispatcher) decode(ctx context.Context, data []byte, scale hetjpeg.Scale) (hetjpeg.BatchImageResult, error) {
+	ch := make(chan hetjpeg.BatchImageResult, 1)
+	d.mu.Lock()
+	idx := d.next
+	d.next++
+	d.waiters[idx] = ch
+	d.mu.Unlock()
+	if err := d.ex.SubmitScaled(ctx, idx, data, scale); err != nil {
+		d.mu.Lock()
+		delete(d.waiters, idx)
+		d.mu.Unlock()
+		return hetjpeg.BatchImageResult{}, err
+	}
+	return <-ch, nil
+}
+
+// close shuts the executor down and waits for the routing loop to
+// deliver everything in flight. Call only once no handler can submit
+// (after the HTTP server finished draining).
+func (d *dispatcher) close() {
+	d.ex.Close()
+	<-d.done
+}

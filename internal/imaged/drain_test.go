@@ -1,0 +1,116 @@
+package imaged
+
+// Graceful-drain contract on a real TCP listener: a SIGTERM-style
+// shutdown (StartDrain → http.Server.Shutdown → Server.Close) while
+// requests are mid-decode must complete every admitted request — zero
+// dropped responses — and refuse late arrivals with a typed 503.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDrainZeroDroppedResponses(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 4
+	s := newTestServer(t, cfg)
+
+	// Count handler entries so the shutdown provably lands while every
+	// client is in flight, not before or after.
+	var entered atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered.Add(1)
+		s.Handler().ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String() + "/decode"
+
+	data := encodeJPEG(t, 1024, 1024, true)
+	const clients = 6
+	type outcome struct {
+		status   int
+		draining bool
+		err      error
+	}
+	outcomes := make([]outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(url, "image/jpeg", bytes.NewReader(data))
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var reply decodeReply
+			raw, _ := io.ReadAll(resp.Body)
+			_ = json.Unmarshal(raw, &reply)
+			outcomes[i] = outcome{status: resp.StatusCode, draining: reply.Draining}
+		}(i)
+	}
+
+	// Wait until every client's request reached a handler, then pull the
+	// plug mid-decode.
+	deadline := time.Now().Add(10 * time.Second)
+	for entered.Load() < clients && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if entered.Load() < clients {
+		t.Fatalf("only %d/%d requests entered handlers", entered.Load(), clients)
+	}
+	s.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s.Close()
+	wg.Wait()
+
+	completed, refused := 0, 0
+	for i, o := range outcomes {
+		switch {
+		case o.err != nil:
+			t.Errorf("client %d: dropped response: %v", i, o.err)
+		case o.status == http.StatusOK:
+			completed++
+		case o.status == http.StatusServiceUnavailable && o.draining:
+			refused++
+		default:
+			t.Errorf("client %d: status %d draining=%v, want 200 or 503-draining", i, o.status, o.draining)
+		}
+	}
+	if completed+refused != clients {
+		t.Errorf("%d completed + %d refused != %d clients", completed, refused, clients)
+	}
+	if completed == 0 {
+		t.Error("drain completed zero in-flight requests — everything was refused")
+	}
+
+	// A request after the drain finished must be refused at the TCP or
+	// HTTP layer, never half-answered.
+	if resp, err := http.Post(url, "image/jpeg", bytes.NewReader(data)); err == nil {
+		resp.Body.Close()
+		t.Error("listener still accepting after Shutdown returned")
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+}

@@ -1,0 +1,545 @@
+// Package imaged is the production image-decode edge service the
+// paper's gallery workload motivates (ROADMAP item 2): the
+// band-scheduler batch executor wrapped in the process-level robustness
+// an internet-facing decode tier needs. Where examples/webserver feeds
+// requests straight into the decoder, imaged adds:
+//
+//   - admission control and backpressure: a bounded budget of pending
+//     requests AND pending body bytes; past it, requests are shed with
+//     429 and a Retry-After computed from the scheduler's calibrated
+//     ns/MCU rates instead of queueing without bound;
+//   - deadline propagation: every request decodes under a context
+//     deadline (server default, per-request override below a server
+//     cap) that reaches the entropy stage's MCU-row polling and every
+//     back-phase band, so a timed-out decode stops burning CPU and the
+//     client gets 503 with a typed timeout body;
+//   - graceful degradation: past a queue-depth watermark, requests that
+//     opted in (?degrade=allow) are served 1/8-scale DC-only thumbnails
+//     (X-Hetjpeg-Degraded: true) — reduced fidelity instead of shed;
+//   - lifecycle: panic recovery (500 + logged stack, process survives),
+//     /healthz liveness, /readyz readiness (false while draining or
+//     under sustained overload), and graceful drain (StartDrain stops
+//     intake, admitted requests finish, Close drains the executor).
+//
+// cmd/imaged is the binary; cmd/loadgen drives it and records the
+// p50/p99/shed-rate trajectory (BENCH_5.json).
+package imaged
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"hetjpeg"
+)
+
+// Config configures a Server. Spec is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Spec is the simulated platform decodes run against (required).
+	Spec *hetjpeg.Platform
+	// Model is the fitted performance model (nil is allowed: ModeAuto
+	// then resolves to the pipelined mode and the scheduler calibrates
+	// purely online).
+	Model *hetjpeg.Model
+	// Mode is the per-image execution mode (default ModeAuto).
+	Mode hetjpeg.Mode
+	// Workers bounds decode parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxInFlight caps the band scheduler's in-flight images.
+	MaxInFlight int
+	// Salvage enables error-resilient decoding: corrupt-but-recoverable
+	// uploads return 200 with X-Hetjpeg-Salvaged instead of 422.
+	Salvage bool
+	// Scale is the default decode scale (?scale= overrides per request).
+	Scale hetjpeg.Scale
+
+	// MaxBody caps one request body (default 64 MiB). Oversized bodies
+	// get 413 with a JSON error.
+	MaxBody int64
+	// MaxQueue caps admitted-but-unfinished requests (default
+	// 4×Workers, minimum 8).
+	MaxQueue int
+	// MaxQueueBytes is the admission byte budget: the sum of admitted
+	// request bodies (default 256 MiB). This, plus the executor's
+	// in-flight decode buffers, bounds the service's input-driven RSS.
+	MaxQueueBytes int64
+	// RequestTimeout is the default per-request decode deadline
+	// (default 15s); ?timeout= overrides it per request up to
+	// MaxTimeout (default 60s).
+	RequestTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DegradeWatermark is the gate-occupancy fraction past which
+	// ?degrade=allow requests are served at 1/8 scale (default 0.5).
+	DegradeWatermark float64
+	// OverloadAfter is how long continuous shedding must last before
+	// /readyz flips not-ready (default 5s).
+	OverloadAfter time.Duration
+	// Log receives request and panic logs (default log.Default()).
+	Log *log.Logger
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Spec == nil {
+		return out, errors.New("imaged: Config.Spec is required")
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.MaxBody <= 0 {
+		out.MaxBody = 64 << 20
+	}
+	if out.MaxQueue <= 0 {
+		out.MaxQueue = 4 * out.Workers
+		if out.MaxQueue < 8 {
+			out.MaxQueue = 8
+		}
+	}
+	if out.MaxQueueBytes <= 0 {
+		out.MaxQueueBytes = 256 << 20
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 15 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 60 * time.Second
+	}
+	if out.RequestTimeout > out.MaxTimeout {
+		out.RequestTimeout = out.MaxTimeout
+	}
+	if out.DegradeWatermark <= 0 || out.DegradeWatermark > 1 {
+		out.DegradeWatermark = 0.5
+	}
+	if out.OverloadAfter <= 0 {
+		out.OverloadAfter = 5 * time.Second
+	}
+	if out.Log == nil {
+		out.Log = log.Default()
+	}
+	return out, nil
+}
+
+// Server is the imaged HTTP service: Handler() is its routing tree,
+// StartDrain/Close its shutdown sequence.
+type Server struct {
+	cfg  Config
+	ex   *hetjpeg.BatchExecutor
+	gate *gate
+	disp *dispatcher
+	log  *log.Logger
+
+	draining atomic.Bool
+	panics   atomic.Uint64
+	timeouts atomic.Uint64
+	started  time.Time
+}
+
+// New builds a Server and starts its decode executor.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := hetjpeg.NewBatchExecutor(hetjpeg.BatchOptions{
+		Spec:        cfg.Spec,
+		Model:       cfg.Model,
+		Mode:        cfg.Mode,
+		Workers:     cfg.Workers,
+		MaxInFlight: cfg.MaxInFlight,
+		Scale:       cfg.Scale,
+		Salvage:     cfg.Salvage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		ex:      ex,
+		gate:    newGate(cfg.MaxQueue, cfg.MaxQueueBytes, cfg.DegradeWatermark, cfg.OverloadAfter),
+		disp:    newDispatcher(ex),
+		log:     cfg.Log,
+		started: time.Now(),
+	}, nil
+}
+
+// StartDrain flips the server into drain mode: /readyz goes not-ready
+// and new decode requests are refused with 503, while requests already
+// admitted keep decoding to completion. Call it on SIGTERM, then shut
+// the HTTP server down (which waits for the in-flight handlers), then
+// Close.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close shuts the decode executor down and waits for its pipeline to
+// drain. Call it after the HTTP server's Shutdown returned, so no
+// handler can still submit.
+func (s *Server) Close() { s.disp.close() }
+
+// Handler returns the service's routing tree wrapped in the recovery +
+// request-log middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decode", s.handleDecode)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return s.middleware(mux)
+}
+
+// decodeReply is the JSON body of every /decode response, success or
+// error — clients always get a machine-readable reason.
+type decodeReply struct {
+	Width    int    `json:"width,omitempty"`
+	Height   int    `json:"height,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	Platform string `json:"platform,omitempty"`
+	// Scale is the decode scale that actually ran — "1/8" when the
+	// request was degraded under overload.
+	Scale        string  `json:"scale,omitempty"`
+	VirtualMs    float64 `json:"virtualMs,omitempty"`
+	EntropyScans int     `json:"entropyScans,omitempty"`
+	WallMs       float64 `json:"wallMs,omitempty"`
+	// Degraded mirrors the X-Hetjpeg-Degraded header: the service was
+	// past its overload watermark and this request opted in.
+	Degraded bool `json:"degraded,omitempty"`
+
+	Error string `json:"error,omitempty"`
+	// Unsupported distinguishes "valid JPEG, out-of-scope feature"
+	// (415) from corruption (422).
+	Unsupported bool `json:"unsupported,omitempty"`
+	// Timeout marks a 503 caused by the request's decode deadline; the
+	// effective deadline is echoed in TimeoutMs.
+	Timeout   bool    `json:"timeout,omitempty"`
+	TimeoutMs float64 `json:"timeoutMs,omitempty"`
+	// Shed marks a 429: the admission queue was full. RetryAfterSec
+	// echoes the Retry-After header.
+	Shed          bool `json:"shed,omitempty"`
+	RetryAfterSec int  `json:"retryAfterSec,omitempty"`
+	// Draining marks a 503 from a server in shutdown drain.
+	Draining bool `json:"draining,omitempty"`
+
+	Salvaged      bool   `json:"salvaged,omitempty"`
+	RecoveredMCUs int    `json:"recoveredMcus,omitempty"`
+	TotalMCUs     int    `json:"totalMcus,omitempty"`
+	SalvageError  string `json:"salvageError,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, reply decodeReply) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, decodeReply{Error: msg})
+}
+
+// handleDecode is the robust single-image decode path. Status map:
+// 200 decoded (possibly degraded/salvaged, see headers), 400 bad
+// parameters, 405 bad method, 413 body over MaxBody, 415 not a JPEG or
+// unsupported coding feature, 422 corrupt stream, 429 shed (admission
+// queue full, Retry-After set), 503 deadline exceeded or draining.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JPEG body")
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, decodeReply{Error: "server is draining", Draining: true})
+		return
+	}
+	q := r.URL.Query()
+	scale, ok := hetjpeg.ParseScale(q.Get("scale"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown scale %q (want 1, 1/2, 1/4 or 1/8)", q.Get("scale")))
+		return
+	}
+	timeout, err := s.timeoutFromQuery(q.Get("timeout"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	degradeOK := q.Get("degrade") == "allow"
+
+	data, status, msg := readJPEGBody(w, r, s.cfg.MaxBody)
+	if status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+
+	// Admission: reserve queue + byte budget for the request's whole
+	// lifetime, or shed with an honest Retry-After.
+	n := int64(len(data))
+	if !s.gate.admit(n) {
+		sec := s.retryAfterSec()
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, decodeReply{
+			Error:         "admission queue full",
+			Shed:          true,
+			RetryAfterSec: sec,
+		})
+		return
+	}
+	defer s.gate.release(n)
+
+	// Graceful degradation: past the watermark, an opted-in request
+	// trades resolution for latency via the DC-only 1/8 fast path.
+	degraded := false
+	if degradeOK && scale != hetjpeg.Scale8 && s.gate.pastWatermarkExcluding(n) {
+		scale = hetjpeg.Scale8
+		degraded = true
+		s.gate.noteDegraded()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	ir, err := s.disp.decode(ctx, data, scale)
+	if err != nil {
+		// Submission never happened: deadline hit while queued for
+		// admission into the scheduler, or the executor closed under us.
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.writeTimeout(w, timeout)
+		case errors.Is(err, hetjpeg.ErrBatchClosed):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, decodeReply{Error: "server is draining", Draining: true})
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	reply := decodeReply{
+		Mode:     s.cfg.Mode.Resolve(s.cfg.Model).String(),
+		Platform: s.cfg.Spec.Name,
+		Scale:    scale.String(),
+		Degraded: degraded,
+	}
+	if degraded {
+		w.Header().Set("X-Hetjpeg-Degraded", "true")
+	}
+	if ir.Res == nil {
+		switch {
+		case errors.Is(ir.Err, context.DeadlineExceeded) || errors.Is(ir.Err, context.Canceled):
+			// The deadline fired mid-decode; the entropy stage or a
+			// band task aborted within its polling bound.
+			s.writeTimeout(w, timeout)
+		case errors.Is(ir.Err, hetjpeg.ErrUnsupported):
+			reply.Error = ir.Err.Error()
+			reply.Unsupported = true
+			writeJSON(w, http.StatusUnsupportedMediaType, reply)
+		default:
+			reply.Error = ir.Err.Error()
+			writeJSON(w, http.StatusUnprocessableEntity, reply)
+		}
+		return
+	}
+	if ir.Err != nil {
+		// Salvaged: usable (partially gray) pixels plus ErrPartialData.
+		// An image service serves that as a success, flagged for caches.
+		reply.Salvaged = true
+		reply.SalvageError = ir.Err.Error()
+		if rep := ir.Res.Salvage; rep != nil {
+			reply.RecoveredMCUs = rep.RecoveredMCUs
+			reply.TotalMCUs = rep.TotalMCUs
+		}
+		w.Header().Set("X-Hetjpeg-Salvaged", "true")
+	}
+	reply.Width, reply.Height = ir.Res.Image.W, ir.Res.Image.H
+	reply.VirtualMs = ir.Res.TotalNs / 1e6
+	reply.EntropyScans = ir.Res.Stats.EntropyScans
+	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	// Metadata only leaves the process; the pixel and coefficient slabs
+	// go back to the pool so sustained load stays allocation-flat.
+	ir.Res.Release()
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) writeTimeout(w http.ResponseWriter, timeout time.Duration) {
+	s.timeouts.Add(1)
+	writeJSON(w, http.StatusServiceUnavailable, decodeReply{
+		Error:     fmt.Sprintf("decode exceeded the %v deadline", timeout),
+		Timeout:   true,
+		TimeoutMs: float64(timeout.Microseconds()) / 1000,
+	})
+}
+
+// timeoutFromQuery resolves the request's decode deadline: the server
+// default, overridable per request (?timeout=500ms) but never above the
+// server cap — a client cannot pin a worker longer than MaxTimeout.
+func (s *Server) timeoutFromQuery(v string) (time.Duration, error) {
+	if v == "" {
+		return s.cfg.RequestTimeout, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad timeout %q: %w", v, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q: must be positive", v)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// readJPEGBody reads the request body under the MaxBody cap, rejecting
+// non-JPEG uploads from their first two bytes (no point buffering 64
+// MiB of something that is not a JPEG) and mapping an overrun to 413.
+// status is 0 on success.
+func readJPEGBody(w http.ResponseWriter, r *http.Request, maxBody int64) (data []byte, status int, msg string) {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	magic := make([]byte, 2)
+	if _, err := io.ReadFull(body, magic); err != nil {
+		return nil, http.StatusUnsupportedMediaType, "not a JPEG (no SOI marker in the first bytes)"
+	}
+	if magic[0] != 0xFF || magic[1] != 0xD8 {
+		return nil, http.StatusUnsupportedMediaType, "not a JPEG (missing FF D8 SOI magic)"
+	}
+	rest, err := io.ReadAll(body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	return append(magic, rest...), 0, ""
+}
+
+// retryAfterSec estimates, from the scheduler's calibrated rates, how
+// long until the bytes currently admitted drain: pending bytes → MCUs
+// (bytes/MCU EWMA) → nanoseconds (entropy + back-phase ns/MCU, spread
+// across the workers). Uncalibrated (cold) servers answer 1s.
+func (s *Server) retryAfterSec() int {
+	st := s.ex.QueueStats()
+	perMCU := st.EntropyNsPerMCU + st.BackNsPerMCU
+	if st.BytesPerMCU <= 0 || perMCU <= 0 {
+		return 1
+	}
+	mcus := float64(s.gate.pendingByteCount()) / st.BytesPerMCU
+	ns := mcus * perMCU / float64(s.cfg.Workers)
+	sec := int(math.Ceil(ns / 1e9))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness: the process serves HTTP. Decoder health is /readyz's
+	// job — a panicking decode must not get the process killed when the
+	// recovery middleware already contained it.
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"ok\":true}\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"ready\":false,\"reason\":\"draining\"}\n"))
+	case s.gate.overloaded(time.Now()):
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"ready\":false,\"reason\":\"overloaded\"}\n"))
+	default:
+		_, _ = w.Write([]byte("{\"ready\":true}\n"))
+	}
+}
+
+// statzReply is the /statz introspection document: the admission gate,
+// the executor's queue/calibration snapshot, and service counters.
+type statzReply struct {
+	Gate     gateSnapshot            `json:"gate"`
+	Queue    hetjpeg.BatchQueueStats `json:"queue"`
+	Panics   uint64                  `json:"panics"`
+	Timeouts uint64                  `json:"timeouts"`
+	Draining bool                    `json:"draining"`
+	UptimeMs float64                 `json:"uptimeMs"`
+	Workers  int                     `json:"workers"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statzReply{
+		Gate:     s.gate.snapshot(),
+		Queue:    s.ex.QueueStats(),
+		Panics:   s.panics.Load(),
+		Timeouts: s.timeouts.Load(),
+		Draining: s.draining.Load(),
+		UptimeMs: float64(time.Since(s.started).Microseconds()) / 1000,
+		Workers:  s.cfg.Workers,
+	})
+}
+
+// statusWriter records the status code and whether a header was
+// written, so the middleware can log outcomes and the panic recovery
+// knows whether a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.code = http.StatusOK
+		sw.wrote = true
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// middleware wraps every handler in panic recovery and a structured
+// request log line. A decoder panic becomes a 500 with the stack in the
+// process log — one poisoned request must not take the service down
+// with it.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// net/http's own sentinel for "abort this
+					// connection"; suppressing it would break that.
+					panic(p)
+				}
+				s.panics.Add(1)
+				s.log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			s.log.Printf("%s %s %d %.1fms", r.Method, r.URL.RequestURI(), sw.code, float64(time.Since(start).Microseconds())/1000)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
