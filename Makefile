@@ -27,9 +27,10 @@ BENCH_BATCH_PATTERN ?= BenchmarkBatchMixedSizes
 BENCH_SCALE_OUT ?= BENCH_4.json
 
 # The HTTP service trajectory: cmd/loadgen against an in-process
-# cmd/imaged stack — steady-state p50/p99 wall latency plus the
-# overload scenario's shed rate and degraded completions.
-BENCH_HTTP_OUT ?= BENCH_5.json
+# cmd/imaged stack — steady-state p50/p99 wall latency, the overload
+# scenario's shed rate and degraded completions, and the hot-repeat
+# scenario's cached p50/hit-rate against the steady baseline.
+BENCH_HTTP_OUT ?= BENCH_6.json
 BENCH_HTTP_TIME ?= 3s
 
 .PHONY: all build test race bench bench-batch bench-scale bench-http bench-http-smoke bench-smoke fuzz-smoke conformance conformance-faults cover fmt vet lint lint-baseline
@@ -77,8 +78,8 @@ bench-scale:
 	@echo "wrote $(BENCH_SCALE_OUT)"
 
 # bench-http records the decode service's robustness trajectory: the
-# loadgen closed-loop scenarios (steady, overload) against an
-# in-process imaged server, summarized into $(BENCH_HTTP_OUT).
+# loadgen closed-loop scenarios (steady, overload, hot-repeat) against
+# an in-process imaged server, summarized into $(BENCH_HTTP_OUT).
 bench-http:
 	go run ./cmd/loadgen -duration $(BENCH_HTTP_TIME) -out $(BENCH_HTTP_OUT)
 	@echo "wrote $(BENCH_HTTP_OUT)"
@@ -102,6 +103,7 @@ fuzz-smoke:
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzProgressiveDecode -fuzztime=10s
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzScaledDecode -fuzztime=10s
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzSalvageDecode -fuzztime=10s
+	go test ./internal/rescache/ -fuzz=FuzzCacheKeyIsolation -fuzztime=10s
 
 # conformance runs the differential harness: the generated baseline +
 # progressive corpus through all modes, both schedulers and worker
@@ -122,9 +124,12 @@ conformance-faults:
 
 # COVER_FLOOR is the combined statement-coverage floor for the decoder
 # core packages (jpegcodec + jfif), measured across their own tests plus
-# the conformance harness. Raise it as coverage grows; never lower it to
-# make a PR pass.
+# the conformance harness. SVC_COVER_FLOOR is the same floor for the
+# service-tier packages (rescache + metrics), measured across their own
+# tests plus the imaged suite that drives them over HTTP. Raise the
+# floors as coverage grows; never lower them to make a PR pass.
 COVER_FLOOR ?= 85.0
+SVC_COVER_FLOOR ?= 85.0
 
 cover:
 	go test -coverpkg=hetjpeg/internal/jpegcodec,hetjpeg/internal/jfif \
@@ -134,6 +139,13 @@ cover:
 	echo "jpegcodec+jfif coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
+	go test -coverpkg=hetjpeg/internal/rescache,hetjpeg/internal/metrics \
+		-coverprofile=cover_svc.out \
+		./internal/rescache ./internal/metrics ./internal/imaged
+	@total=$$(go tool cover -func=cover_svc.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	echo "rescache+metrics coverage: $$total% (floor $(SVC_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(SVC_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below floor $(SVC_COVER_FLOOR)%"; exit 1; }
 
 fmt:
 	gofmt -l -w .

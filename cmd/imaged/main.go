@@ -35,6 +35,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 64<<20, "per-request body cap in bytes (413 past it)")
 	maxQueue := flag.Int("max-queue", 0, "admission cap on concurrently admitted requests (0 = 4×workers); 429 past it")
 	maxQueueBytes := flag.Int64("max-queue-bytes", 256<<20, "admission byte budget across admitted bodies; 429 past it")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "decoded-output cache budget in bytes (negative disables caching)")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "default per-request decode deadline")
 	maxTimeout := flag.Duration("max-timeout", time.Minute, "upper bound on the per-request ?timeout= override")
 	degradeWatermark := flag.Float64("degrade-watermark", 0.5, "queue-occupancy fraction past which ?degrade=allow requests decode at 1/8 scale")
@@ -49,6 +50,7 @@ func main() {
 		MaxBody:          *maxBody,
 		MaxQueue:         *maxQueue,
 		MaxQueueBytes:    *maxQueueBytes,
+		CacheBytes:       *cacheBytes,
 		RequestTimeout:   *requestTimeout,
 		MaxTimeout:       *maxTimeout,
 		DegradeWatermark: *degradeWatermark,

@@ -5,17 +5,23 @@
 //
 // With no -addr it spins an in-process imaged server on a loopback
 // listener, so `make bench-http` needs no port juggling and measures
-// the full HTTP stack. Two scenarios run back to back:
+// the full HTTP stack. Three scenarios run back to back:
 //
-//   - steady: concurrency ≈ decode workers — the healthy-tier numbers
-//     (p50/p99 wall latency, zero shedding expected);
-//   - overload: concurrency several times the admission budget — the
-//     shed rate, Retry-After hints and degraded completions.
+//   - steady: concurrency ≈ decode workers, every request bypassing the
+//     decoded-output cache — the healthy-tier decode numbers (p50/p99
+//     wall latency, zero shedding expected);
+//   - overload: concurrency several times the admission budget, cache
+//     bypassed — the shed rate, Retry-After hints and degraded
+//     completions;
+//   - hot-repeat: the steady mix with the cache in the path — the same
+//     few images requested over and over, the gallery traffic the cache
+//     exists for. Its p50 against steady's is the cache's speedup; the
+//     summary records the hit rate alongside.
 //
-// The summary JSON (BENCH_5.json in the repo history) is one entry per
+// The summary JSON (BENCH_6.json in the repo history) is one entry per
 // scenario.
 //
-//	go run ./cmd/loadgen -out BENCH_5.json
+//	go run ./cmd/loadgen -out BENCH_6.json
 //	go run ./cmd/loadgen -addr host:8080 -duration 10s -concurrency 64
 package main
 
@@ -60,6 +66,12 @@ type scenarioResult struct {
 	ShedRate       float64 `json:"shedRate"`
 	RetryAfterMean float64 `json:"retryAfterMeanSec,omitempty"`
 	Throughput     float64 `json:"throughputRps"`
+	// Cache outcome counts over 200s (X-Hetjpeg-Cache header) and the
+	// hit fraction; all zero for scenarios that run with ?cache=bypass.
+	CacheHits    int     `json:"cacheHits,omitempty"`
+	CacheWaits   int     `json:"cacheWaits,omitempty"`
+	CacheMisses  int     `json:"cacheMisses,omitempty"`
+	CacheHitRate float64 `json:"cacheHitRate,omitempty"`
 }
 
 type summary struct {
@@ -155,15 +167,21 @@ func run(addr, out string, duration time.Duration, steady, workers, maxQueue int
 	for _, sc := range []struct {
 		name        string
 		concurrency int
+		query       string
 	}{
-		{"steady", steady},
-		{"overload", 4 * maxQueue},
+		// steady and overload measure the decode path itself, so they
+		// opt out of the cache (the corpus is 3 images round-robin —
+		// cached, everything would be a hit). hot-repeat is that cached
+		// case, on purpose: steady vs hot-repeat is the cache's speedup.
+		{"steady", steady, "cache=bypass"},
+		{"overload", 4 * maxQueue, "cache=bypass"},
+		{"hot-repeat", steady, ""},
 	} {
-		res := drive(url, corpus, sc.concurrency, duration)
+		res := drive(url, corpus, sc.query, sc.concurrency, duration)
 		res.Name = sc.name
 		sum.Scenarios = append(sum.Scenarios, res)
-		log.Printf("loadgen: %-8s conc=%-3d req=%-6d ok=%-6d p50=%.1fms p99=%.1fms shed=%.1f%% degraded=%d",
-			res.Name, res.Concurrency, res.Requests, res.OK, res.P50Ms, res.P99Ms, 100*res.ShedRate, res.Degraded)
+		log.Printf("loadgen: %-10s conc=%-3d req=%-6d ok=%-6d p50=%.2fms p99=%.1fms shed=%.1f%% degraded=%d hit=%.0f%%",
+			res.Name, res.Concurrency, res.Requests, res.OK, res.P50Ms, res.P99Ms, 100*res.ShedRate, res.Degraded, 100*res.CacheHitRate)
 	}
 
 	blob, err := json.MarshalIndent(sum, "", "  ")
@@ -206,8 +224,9 @@ func buildCorpus() [][]byte {
 
 // drive runs one closed-loop scenario: concurrency clients, each
 // posting the corpus round-robin until the deadline; every 4th request
-// opts into degradation, the way a thumbnail tier would.
-func drive(url string, corpus [][]byte, concurrency int, duration time.Duration) scenarioResult {
+// opts into degradation, the way a thumbnail tier would. query is the
+// scenario's base query string ("cache=bypass" or empty).
+func drive(url string, corpus [][]byte, query string, concurrency int, duration time.Duration) scenarioResult {
 	var (
 		mu         sync.Mutex
 		latencies  []float64
@@ -227,9 +246,15 @@ func drive(url string, corpus [][]byte, concurrency int, duration time.Duration)
 			for time.Now().Before(deadline) {
 				n := seq.Add(1)
 				img := corpus[int(n)%len(corpus)]
-				q := ""
+				q := query
 				if n%4 == 0 {
-					q = "?degrade=allow"
+					if q != "" {
+						q += "&"
+					}
+					q += "degrade=allow"
+				}
+				if q != "" {
+					q = "?" + q
 				}
 				t0 := time.Now()
 				resp, err := client.Post(url+q, "image/jpeg", bytes.NewReader(img))
@@ -250,6 +275,14 @@ func drive(url string, corpus [][]byte, concurrency int, duration time.Duration)
 					}
 					if resp.Header.Get("X-Hetjpeg-Salvaged") == "true" {
 						res.Salvaged++
+					}
+					switch resp.Header.Get("X-Hetjpeg-Cache") {
+					case "hit":
+						res.CacheHits++
+					case "wait":
+						res.CacheWaits++
+					case "miss":
+						res.CacheMisses++
 					}
 				case http.StatusTooManyRequests:
 					res.Shed++
@@ -287,6 +320,9 @@ func drive(url string, corpus [][]byte, concurrency int, duration time.Duration)
 	}
 	if retryCount > 0 {
 		res.RetryAfterMean = retrySum / float64(retryCount)
+	}
+	if res.OK > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(res.OK)
 	}
 	res.Throughput = float64(res.OK) / elapsed.Seconds()
 	return res

@@ -1,0 +1,113 @@
+package imaged
+
+// Table tests for the Retry-After pricing: the pure arithmetic behind
+// every 429 — pending admitted bytes converted through the calibrator's
+// bytes/MCU into MCUs, priced at the entropy + back-phase ns/MCU rates,
+// spread across the workers, rounded up to whole seconds and clamped to
+// [1s, 60s]. A cold (uncalibrated) server must answer 1s rather than
+// divide by zero or promise the moon.
+
+import (
+	"testing"
+
+	"hetjpeg"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	calibrated := hetjpeg.BatchQueueStats{
+		EntropyNsPerMCU: 300_000,
+		BackNsPerMCU:    200_000,
+		BytesPerMCU:     100,
+	}
+	cases := []struct {
+		name    string
+		pending int64
+		st      hetjpeg.BatchQueueStats
+		workers int
+		want    int
+	}{
+		{
+			// No calibration at all: the scheduler has not seen an image
+			// yet, so there is no honest estimate — fall back to 1s.
+			name:    "cold server answers 1s",
+			pending: 10 << 20,
+			st:      hetjpeg.BatchQueueStats{},
+			workers: 4,
+			want:    1,
+		},
+		{
+			// Rates without a bytes→MCU conversion are unusable.
+			name:    "missing bytes-per-mcu answers 1s",
+			pending: 10 << 20,
+			st:      hetjpeg.BatchQueueStats{EntropyNsPerMCU: 1e6, BackNsPerMCU: 1e6},
+			workers: 4,
+			want:    1,
+		},
+		{
+			name:    "missing ns rates answers 1s",
+			pending: 10 << 20,
+			st:      hetjpeg.BatchQueueStats{BytesPerMCU: 100},
+			workers: 4,
+			want:    1,
+		},
+		{
+			// 2 MB / 100 B/MCU = 20000 MCUs x 500us = 10s of work over 4
+			// workers = 2.5s -> ceil 3s.
+			name:    "bytes to MCUs to seconds",
+			pending: 2_000_000,
+			st:      calibrated,
+			workers: 4,
+			want:    3,
+		},
+		{
+			// 1500 B -> 1500 MCUs x 1ms = 1.5s on one worker: rounds UP
+			// to 2, never down — an optimistic Retry-After just bounces
+			// the client off the gate again.
+			name:    "rounds up",
+			pending: 1500,
+			st:      hetjpeg.BatchQueueStats{EntropyNsPerMCU: 500_000, BackNsPerMCU: 500_000, BytesPerMCU: 1},
+			workers: 1,
+			want:    2,
+		},
+		{
+			// Sub-second drain estimates still answer the 1s floor.
+			name:    "clamps at 1s",
+			pending: 100,
+			st:      calibrated,
+			workers: 4,
+			want:    1,
+		},
+		{
+			name:    "zero pending clamps at 1s",
+			pending: 0,
+			st:      calibrated,
+			workers: 4,
+			want:    1,
+		},
+		{
+			// A queue that prices out to hours still answers 60s: past
+			// that the client should be re-resolving, not sleeping.
+			name:    "clamps at 60s",
+			pending: 1 << 30,
+			st:      hetjpeg.BatchQueueStats{EntropyNsPerMCU: 500_000, BackNsPerMCU: 500_000, BytesPerMCU: 1},
+			workers: 1,
+			want:    60,
+		},
+		{
+			// More workers drain the same queue proportionally faster.
+			name:    "workers divide the estimate",
+			pending: 2_000_000,
+			st:      calibrated,
+			workers: 1,
+			want:    10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterSeconds(tc.pending, tc.st, tc.workers); got != tc.want {
+				t.Errorf("retryAfterSeconds(%d, %+v, %d) = %d, want %d",
+					tc.pending, tc.st, tc.workers, got, tc.want)
+			}
+		})
+	}
+}

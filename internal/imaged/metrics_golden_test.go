@@ -1,0 +1,121 @@
+package imaged
+
+// Golden test for the /metrics catalog: the exposition must parse as
+// Prometheus text format 0.0.4, and its shape — every family's name,
+// type and each sample's label signature, values normalized away — is
+// pinned byte-for-byte against testdata/metrics.golden. Renaming a
+// metric, dropping a label or changing histogram buckets breaks
+// downstream dashboards and alerts; this test makes such a change an
+// explicit diff instead of a silent one. Regenerate with:
+//
+//	go test ./internal/imaged -run TestMetricsGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetjpeg/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestMetricsGolden(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	h := s.Handler()
+
+	// Exercise every counter source once so the scrape carries live
+	// values (which then normalize away): a miss, a hit, a bypass, a
+	// shed... the catalog itself must already be complete without any
+	// traffic, so none of this adds series.
+	data := encodeJPEG(t, 32, 32, false)
+	postDecode(t, h, "", data)
+	postDecode(t, h, "", data)
+	postDecode(t, h, "cache=bypass", data)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type %q, want text format 0.0.4", ct)
+	}
+	fams, err := metrics.ParseText(bytes.NewReader(rr.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text format: %v\n%s", err, rr.Body.String())
+	}
+
+	got := normalizeFamilies(fams)
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics catalog drifted from %s (regenerate with -update if intended):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// normalizeFamilies renders the shape of a scrape: family name + type,
+// then each distinct sample name with its canonical label signature.
+// Values are dropped — the catalog is the contract, the numbers are the
+// payload.
+func normalizeFamilies(fams []metrics.Family) string {
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "%s %s\n", f.Name, f.Type)
+		for _, smp := range f.Samples {
+			line := "  " + smp.Name
+			if sig := smp.LabelSignature(); sig != "" {
+				line += "{" + sig + "}"
+			}
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String()
+}
+
+// diffLines is a minimal line diff: everything only in want as "-",
+// only in got as "+", in input order.
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(lines reordered)"
+	}
+	return b.String()
+}

@@ -19,10 +19,22 @@
 //   - lifecycle: panic recovery (500 + logged stack, process survives),
 //     /healthz liveness, /readyz readiness (false while draining or
 //     under sustained overload), and graceful drain (StartDrain stops
-//     intake, admitted requests finish, Close drains the executor).
+//     intake, admitted requests finish, Close drains the executor);
+//   - a decoded-output cache: finished results keyed on (content hash,
+//     scale, salvage flag) in a byte-budgeted LRU with singleflight
+//     collapse of concurrent identical decodes (internal/rescache). A
+//     cache hit is served BEFORE admission — it burns no queue budget
+//     and cannot be shed — and every /decode response carries
+//     X-Hetjpeg-Cache: hit|miss|wait|bypass (?cache=bypass opts out);
+//   - observability: /statz stays the JSON snapshot; /metrics exposes
+//     the Prometheus text format (internal/metrics) — per-scale decode
+//     latency histograms, cache hit/miss/wait/eviction counters, bytes
+//     resident, admission shed/degrade/timeout counters and the
+//     calibrator's ns/MCU gauges.
 //
 // cmd/imaged is the binary; cmd/loadgen drives it and records the
-// p50/p99/shed-rate trajectory (BENCH_5.json).
+// p50/p99/shed-rate trajectory (BENCH_5.json) plus the hot-repeat
+// cache scenario (BENCH_6.json).
 package imaged
 
 import (
@@ -41,6 +53,8 @@ import (
 	"time"
 
 	"hetjpeg"
+	"hetjpeg/internal/metrics"
+	"hetjpeg/internal/rescache"
 )
 
 // Config configures a Server. Spec is required; everything else has a
@@ -74,6 +88,11 @@ type Config struct {
 	// request bodies (default 256 MiB). This, plus the executor's
 	// in-flight decode buffers, bounds the service's input-driven RSS.
 	MaxQueueBytes int64
+	// CacheBytes budgets the decoded-output cache (default 256 MiB,
+	// negative disables caching). Finished results are kept keyed on
+	// (content hash, scale, salvage flag); a hit is served before
+	// admission and concurrent identical decodes collapse to one.
+	CacheBytes int64
 	// RequestTimeout is the default per-request decode deadline
 	// (default 15s); ?timeout= overrides it per request up to
 	// MaxTimeout (default 60s).
@@ -109,6 +128,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.MaxQueueBytes <= 0 {
 		out.MaxQueueBytes = 256 << 20
 	}
+	if out.CacheBytes == 0 {
+		out.CacheBytes = 256 << 20
+	}
 	if out.RequestTimeout <= 0 {
 		out.RequestTimeout = 15 * time.Second
 	}
@@ -133,11 +155,15 @@ func (c *Config) withDefaults() (Config, error) {
 // Server is the imaged HTTP service: Handler() is its routing tree,
 // StartDrain/Close its shutdown sequence.
 type Server struct {
-	cfg  Config
-	ex   *hetjpeg.BatchExecutor
-	gate *gate
-	disp *dispatcher
-	log  *log.Logger
+	cfg   Config
+	ex    *hetjpeg.BatchExecutor
+	gate  *gate
+	disp  *dispatcher
+	cache *rescache.Cache // nil when CacheBytes < 0: every request decodes
+	log   *log.Logger
+
+	reg        *metrics.Registry
+	mDecodeDur *metrics.HistogramVec
 
 	draining atomic.Bool
 	panics   atomic.Uint64
@@ -163,14 +189,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		ex:      ex,
 		gate:    newGate(cfg.MaxQueue, cfg.MaxQueueBytes, cfg.DegradeWatermark, cfg.OverloadAfter),
 		disp:    newDispatcher(ex),
+		cache:   rescache.New(cfg.CacheBytes),
 		log:     cfg.Log,
 		started: time.Now(),
-	}, nil
+	}
+	s.buildMetrics()
+	return s, nil
 }
 
 // StartDrain flips the server into drain mode: /readyz goes not-ready
@@ -193,9 +222,11 @@ func (s *Server) Close() { s.disp.close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decode", s.handleDecode)
+	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.Handle("/metrics", s.reg.Handler())
 	return s.middleware(mux)
 }
 
@@ -215,6 +246,10 @@ type decodeReply struct {
 	// Degraded mirrors the X-Hetjpeg-Degraded header: the service was
 	// past its overload watermark and this request opted in.
 	Degraded bool `json:"degraded,omitempty"`
+	// Cache mirrors the X-Hetjpeg-Cache header: how the request met the
+	// decoded-output cache — hit, miss, wait (an identical decode was in
+	// flight and shared) or bypass (?cache=bypass, or caching disabled).
+	Cache string `json:"cache,omitempty"`
 
 	Error string `json:"error,omitempty"`
 	// Unsupported distinguishes "valid JPEG, out-of-scope feature"
@@ -275,10 +310,30 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	degradeOK := q.Get("degrade") == "allow"
+	bypass, err := cacheModeFromQuery(q.Get("cache"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	data, status, msg := readJPEGBody(w, r, s.cfg.MaxBody)
 	if status != 0 {
 		writeError(w, status, msg)
+		return
+	}
+
+	// Cache probe BEFORE admission: a resident result burns no queue
+	// budget and cannot be shed — repeat traffic stays fast even while
+	// the gate is rejecting fresh decode work.
+	bypass = bypass || s.cache == nil
+	key := rescache.KeyFor(data, scale, s.cfg.Salvage)
+	if bypass {
+		s.cache.NoteBypass()
+	} else if ent := s.cache.Get(key); ent != nil {
+		defer ent.Release()
+		reply, code := s.replyFor(ent.Result(), ent.Err(), "hit", scale, false, timeout)
+		reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
+		s.writeDecodeReply(w, code, reply)
 		return
 	}
 
@@ -298,85 +353,145 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.release(n)
 
 	// Graceful degradation: past the watermark, an opted-in request
-	// trades resolution for latency via the DC-only 1/8 fast path.
+	// trades resolution for latency via the DC-only 1/8 fast path. The
+	// cache key follows the scale that actually runs.
 	degraded := false
 	if degradeOK && scale != hetjpeg.Scale8 && s.gate.pastWatermarkExcluding(n) {
 		scale = hetjpeg.Scale8
 		degraded = true
 		s.gate.noteDegraded()
+		key = rescache.KeyFor(data, scale, s.cfg.Salvage)
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	var (
+		res       *hetjpeg.Result
+		decodeErr error
+		outcome   string
+	)
+	if bypass {
+		res, decodeErr = s.decodeOnce(ctx, data, scale)
+		if res != nil {
+			// Metadata only leaves the process; the pixel and coefficient
+			// slabs go back to the pool so sustained load stays
+			// allocation-flat.
+			defer res.Release()
+		}
+		outcome = "bypass"
+	} else {
+		ent, st, err := s.cache.Do(ctx, key, func() (*hetjpeg.Result, error) {
+			return s.decodeOnce(ctx, data, scale)
+		})
+		decodeErr = err
+		outcome = st.String()
+		if ent != nil {
+			res = ent.Result()
+			defer ent.Release()
+		}
+	}
+
+	reply, code := s.replyFor(res, decodeErr, outcome, scale, degraded, timeout)
+	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	s.writeDecodeReply(w, code, reply)
+}
+
+// cacheModeFromQuery parses ?cache=: empty or "use" keeps the cache in
+// the path, "bypass" opts this request out of probe and insert both.
+func cacheModeFromQuery(v string) (bypass bool, err error) {
+	switch v {
+	case "", "use":
+		return false, nil
+	case "bypass":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown cache mode %q (want bypass)", v)
+}
+
+// decodeOnce runs one decode through the dispatcher and, when pixels
+// came back, the per-scale latency histogram. The contract mirrors the
+// batch API: result and error may BOTH be set (salvage); a nil result
+// is a true failure classified by the error.
+func (s *Server) decodeOnce(ctx context.Context, data []byte, scale hetjpeg.Scale) (*hetjpeg.Result, error) {
+	t0 := time.Now()
 	ir, err := s.disp.decode(ctx, data, scale)
 	if err != nil {
 		// Submission never happened: deadline hit while queued for
 		// admission into the scheduler, or the executor closed under us.
-		switch {
-		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-			s.writeTimeout(w, timeout)
-		case errors.Is(err, hetjpeg.ErrBatchClosed):
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, decodeReply{Error: "server is draining", Draining: true})
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
-		}
-		return
+		return nil, err
 	}
+	if ir.Res != nil {
+		s.mDecodeDur.With(scale.String()).Observe(time.Since(t0).Seconds())
+	}
+	return ir.Res, ir.Err
+}
 
+// replyFor converts one decode outcome — fresh, cached or failed — into
+// the shared reply shape and its HTTP status.
+func (s *Server) replyFor(res *hetjpeg.Result, decodeErr error, outcome string, scale hetjpeg.Scale, degraded bool, timeout time.Duration) (decodeReply, int) {
 	reply := decodeReply{
 		Mode:     s.cfg.Mode.Resolve(s.cfg.Model).String(),
 		Platform: s.cfg.Spec.Name,
 		Scale:    scale.String(),
 		Degraded: degraded,
+		Cache:    outcome,
 	}
-	if degraded {
-		w.Header().Set("X-Hetjpeg-Degraded", "true")
-	}
-	if ir.Res == nil {
+	if res == nil {
 		switch {
-		case errors.Is(ir.Err, context.DeadlineExceeded) || errors.Is(ir.Err, context.Canceled):
-			// The deadline fired mid-decode; the entropy stage or a
-			// band task aborted within its polling bound.
-			s.writeTimeout(w, timeout)
-		case errors.Is(ir.Err, hetjpeg.ErrUnsupported):
-			reply.Error = ir.Err.Error()
+		case errors.Is(decodeErr, context.DeadlineExceeded) || errors.Is(decodeErr, context.Canceled):
+			// The deadline fired while queued or mid-decode; the entropy
+			// stage or a band task aborted within its polling bound.
+			s.timeouts.Add(1)
+			return decodeReply{
+				Error:     fmt.Sprintf("decode exceeded the %v deadline", timeout),
+				Timeout:   true,
+				TimeoutMs: float64(timeout.Microseconds()) / 1000,
+			}, http.StatusServiceUnavailable
+		case errors.Is(decodeErr, hetjpeg.ErrBatchClosed):
+			return decodeReply{Error: "server is draining", Draining: true}, http.StatusServiceUnavailable
+		case errors.Is(decodeErr, hetjpeg.ErrUnsupported):
+			reply.Error = decodeErr.Error()
 			reply.Unsupported = true
-			writeJSON(w, http.StatusUnsupportedMediaType, reply)
+			return reply, http.StatusUnsupportedMediaType
 		default:
-			reply.Error = ir.Err.Error()
-			writeJSON(w, http.StatusUnprocessableEntity, reply)
+			reply.Error = decodeErr.Error()
+			return reply, http.StatusUnprocessableEntity
 		}
-		return
 	}
-	if ir.Err != nil {
+	if decodeErr != nil {
 		// Salvaged: usable (partially gray) pixels plus ErrPartialData.
-		// An image service serves that as a success, flagged for caches.
+		// An image service serves that as a success, flagged for caches;
+		// a cached salvage replays the same report on every hit.
 		reply.Salvaged = true
-		reply.SalvageError = ir.Err.Error()
-		if rep := ir.Res.Salvage; rep != nil {
+		reply.SalvageError = decodeErr.Error()
+		if rep := res.Salvage; rep != nil {
 			reply.RecoveredMCUs = rep.RecoveredMCUs
 			reply.TotalMCUs = rep.TotalMCUs
 		}
-		w.Header().Set("X-Hetjpeg-Salvaged", "true")
 	}
-	reply.Width, reply.Height = ir.Res.Image.W, ir.Res.Image.H
-	reply.VirtualMs = ir.Res.TotalNs / 1e6
-	reply.EntropyScans = ir.Res.Stats.EntropyScans
-	reply.WallMs = float64(time.Since(start).Microseconds()) / 1000
-	// Metadata only leaves the process; the pixel and coefficient slabs
-	// go back to the pool so sustained load stays allocation-flat.
-	ir.Res.Release()
-	writeJSON(w, http.StatusOK, reply)
+	reply.Width, reply.Height = res.Image.W, res.Image.H
+	reply.VirtualMs = res.TotalNs / 1e6
+	reply.EntropyScans = res.Stats.EntropyScans
+	return reply, http.StatusOK
 }
 
-func (s *Server) writeTimeout(w http.ResponseWriter, timeout time.Duration) {
-	s.timeouts.Add(1)
-	writeJSON(w, http.StatusServiceUnavailable, decodeReply{
-		Error:     fmt.Sprintf("decode exceeded the %v deadline", timeout),
-		Timeout:   true,
-		TimeoutMs: float64(timeout.Microseconds()) / 1000,
-	})
+// writeDecodeReply sets the headers the reply's fields mirror, then
+// writes the JSON body.
+func (s *Server) writeDecodeReply(w http.ResponseWriter, status int, reply decodeReply) {
+	if reply.Cache != "" {
+		w.Header().Set("X-Hetjpeg-Cache", reply.Cache)
+	}
+	if reply.Degraded {
+		w.Header().Set("X-Hetjpeg-Degraded", "true")
+	}
+	if reply.Salvaged {
+		w.Header().Set("X-Hetjpeg-Salvaged", "true")
+	}
+	if reply.Draining {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, reply)
 }
 
 // timeoutFromQuery resolves the request's decode deadline: the server
@@ -423,18 +538,22 @@ func readJPEGBody(w http.ResponseWriter, r *http.Request, maxBody int64) (data [
 	return append(magic, rest...), 0, ""
 }
 
-// retryAfterSec estimates, from the scheduler's calibrated rates, how
-// long until the bytes currently admitted drain: pending bytes → MCUs
-// (bytes/MCU EWMA) → nanoseconds (entropy + back-phase ns/MCU, spread
-// across the workers). Uncalibrated (cold) servers answer 1s.
 func (s *Server) retryAfterSec() int {
-	st := s.ex.QueueStats()
+	return retryAfterSeconds(s.gate.pendingByteCount(), s.ex.QueueStats(), s.cfg.Workers)
+}
+
+// retryAfterSeconds prices a 429's Retry-After from the scheduler's
+// calibrated rates: pending admitted bytes → MCUs (bytes/MCU EWMA) →
+// nanoseconds (entropy + back-phase ns/MCU, spread across the workers),
+// rounded up to whole seconds and clamped to [1s, 60s]. Uncalibrated
+// (cold) servers answer 1s.
+func retryAfterSeconds(pendingBytes int64, st hetjpeg.BatchQueueStats, workers int) int {
 	perMCU := st.EntropyNsPerMCU + st.BackNsPerMCU
 	if st.BytesPerMCU <= 0 || perMCU <= 0 {
 		return 1
 	}
-	mcus := float64(s.gate.pendingByteCount()) / st.BytesPerMCU
-	ns := mcus * perMCU / float64(s.cfg.Workers)
+	mcus := float64(pendingBytes) / st.BytesPerMCU
+	ns := mcus * perMCU / float64(workers)
 	sec := int(math.Ceil(ns / 1e9))
 	if sec < 1 {
 		sec = 1

@@ -187,7 +187,9 @@ func TestOverloadSheds(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rr, _ := postDecode(t, h, "", data)
+			// Identical bodies would collapse into cache hits served
+			// ahead of admission; shedding is what's under test here.
+			rr, _ := postDecode(t, h, "cache=bypass", data)
 			codes[i] = rr.Code
 			retryAfter[i] = rr.Header().Get("Retry-After")
 		}(i)
@@ -229,9 +231,12 @@ func TestDegradedUnderPressure(t *testing.T) {
 	s := newTestServer(t, cfg)
 	h := s.Handler()
 	data := encodeJPEG(t, 128, 64, false)
+	// Every request bypasses the cache: a resident full-fidelity result
+	// would be served ahead of admission and short-circuit the very
+	// degradation under test.
+	rr, reply := postDecode(t, h, "degrade=allow&cache=bypass", data)
 	// Idle server: a lone opted-in request must NOT count its own
 	// admission as queue pressure and degrade itself.
-	rr, reply := postDecode(t, h, "degrade=allow", data)
 	if rr.Code != http.StatusOK || reply.Degraded || reply.Width != 128 {
 		t.Fatalf("idle degrade=allow: status %d degraded=%v width=%d, want full-fidelity 200", rr.Code, reply.Degraded, reply.Width)
 	}
@@ -246,7 +251,7 @@ func TestDegradedUnderPressure(t *testing.T) {
 		t.Fatal("gate not past watermark after setup")
 	}
 
-	rr, reply = postDecode(t, h, "degrade=allow", data)
+	rr, reply = postDecode(t, h, "degrade=allow&cache=bypass", data)
 	if rr.Code != http.StatusOK {
 		t.Fatalf("degraded request: status %d (error: %s)", rr.Code, reply.Error)
 	}
@@ -257,7 +262,7 @@ func TestDegradedUnderPressure(t *testing.T) {
 		t.Errorf("degraded decode scale %q %dx%d, want 1/8 16x8", reply.Scale, reply.Width, reply.Height)
 	}
 
-	rr, reply = postDecode(t, h, "", data)
+	rr, reply = postDecode(t, h, "cache=bypass", data)
 	if rr.Code != http.StatusOK || reply.Degraded || reply.Width != 128 {
 		t.Errorf("non-opted request got %d degraded=%v width=%d, want full-fidelity 200", rr.Code, reply.Degraded, reply.Width)
 	}

@@ -1,0 +1,339 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: its HELP/TYPE headers and
+// samples, in exposition order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// LabelSignature renders a sample's label set canonically (sorted,
+// k="v" joined by commas) — what the golden test pins.
+func (s Sample) LabelSignature() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, s.Labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseText parses and validates Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers precede their samples, names and
+// labels are well-formed, values parse, histograms carry cumulative
+// non-decreasing buckets ending in a +Inf bucket that equals _count.
+// It returns the families in input order.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var fams []Family
+	byName := map[string]*Family{}
+	typed := map[string]bool{}
+	sampled := map[string]bool{}
+	line := 0
+
+	familyOf := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if f, ok := byName[base]; ok && f.Type == "histogram" {
+					return base
+				}
+			}
+		}
+		return name
+	}
+	ensure := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		fams = append(fams, Family{Name: name})
+		f := &fams[len(fams)-1]
+		byName[name] = f
+		return f
+	}
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Other comments are legal and ignored.
+				continue
+			}
+			name := fields[2]
+			if !nameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", line, name)
+			}
+			f := ensure(name)
+			if fields[1] == "HELP" {
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+				continue
+			}
+			if typed[name] {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+			}
+			if sampled[name] {
+				return nil, fmt.Errorf("line %d: TYPE for %q after its samples", line, name)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: TYPE without a type", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", line, fields[3])
+			}
+			typed[name] = true
+			f.Type = fields[3]
+			continue
+		}
+
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		fam := familyOf(s.Name)
+		f := ensure(fam)
+		sampled[fam] = true
+		if f.Type == "histogram" && s.Name == fam {
+			return nil, fmt.Errorf("line %d: bare sample %q for histogram family", line, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for i := range fams {
+		if err := validateFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// parseSample parses `name{k="v",...} value` (timestamps rejected: this
+// exporter never emits them).
+func parseSample(text string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", text)
+	}
+	s.Name = rest[:i]
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("expected exactly one value in %q", text)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without value in %q", body)
+		}
+		name := body[:eq]
+		if !labelRe.MatchString(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		var val strings.Builder
+		j := 1
+		for ; j < len(body); j++ {
+			c := body[j]
+			if c == '\\' && j+1 < len(body) {
+				j++
+				switch body[j] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[j])
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", body[j], name)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if j >= len(body) {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		out[name] = val.String()
+		body = body[j+1:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if len(body) > 0 {
+			return fmt.Errorf("junk after label %q", name)
+		}
+	}
+	return nil
+}
+
+// validateFamily enforces per-type sample shape, most importantly the
+// histogram contract: cumulative non-decreasing buckets per series, a
+// +Inf bucket present and equal to that series' _count.
+func validateFamily(f *Family) error {
+	if f.Type != "histogram" {
+		return nil
+	}
+	type hseries struct {
+		buckets []Sample
+		count   *Sample
+		sum     bool
+	}
+	bySig := map[string]*hseries{}
+	order := []string{}
+	get := func(s Sample) *hseries {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		sig := Sample{Labels: labels}.LabelSignature()
+		h := bySig[sig]
+		if h == nil {
+			h = &hseries{}
+			bySig[sig] = h
+			order = append(order, sig)
+		}
+		return h
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			get(s).buckets = append(get(s).buckets, s)
+		case f.Name + "_sum":
+			get(s).sum = true
+		case f.Name + "_count":
+			c := s
+			get(s).count = &c
+		default:
+			return fmt.Errorf("%s: unexpected sample %q in histogram family", f.Name, s.Name)
+		}
+	}
+	for _, sig := range order {
+		h := bySig[sig]
+		if len(h.buckets) == 0 || h.count == nil || !h.sum {
+			return fmt.Errorf("%s{%s}: histogram series missing buckets, _sum or _count", f.Name, sig)
+		}
+		prevBound := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range h.buckets {
+			bound, err := parseValue(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, b.Labels["le"])
+			}
+			if bound <= prevBound {
+				return fmt.Errorf("%s: bucket bounds not increasing at le=%q", f.Name, b.Labels["le"])
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("%s: buckets not cumulative at le=%q", f.Name, b.Labels["le"])
+			}
+			prevBound, prevCum = bound, b.Value
+			if math.IsInf(bound, 1) {
+				sawInf = true
+				if b.Value != h.count.Value {
+					return fmt.Errorf("%s: +Inf bucket %v != _count %v", f.Name, b.Value, h.count.Value)
+				}
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("%s: histogram series without +Inf bucket", f.Name)
+		}
+	}
+	return nil
+}

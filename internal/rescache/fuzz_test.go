@@ -1,0 +1,71 @@
+package rescache
+
+// FuzzCacheKeyIsolation is the gate on the cache's safety-critical
+// keying property: the key must separate every axis that changes what a
+// response means — the exact JPEG bytes (a corrupt variant of a clean
+// image is a different resource), the decode scale (a thumbnail must
+// never stand in for a full decode) and the salvage flag (a salvaged
+// partial result must never be served to a strict request, nor a strict
+// result short-circuit a salvage request's report).
+
+import (
+	"bytes"
+	"testing"
+
+	"hetjpeg/internal/jpegcodec"
+)
+
+var fuzzScales = []jpegcodec.Scale{jpegcodec.Scale1, jpegcodec.Scale2, jpegcodec.Scale4, jpegcodec.Scale8}
+
+func FuzzCacheKeyIsolation(f *testing.F) {
+	// Seeds: clean/corrupt byte pairs in the shapes the service sees —
+	// a JPEG-ish prefix, a truncation, a single flipped byte, and the
+	// degenerate tiny inputs.
+	f.Add([]byte{0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, 'J', 'F', 'I', 'F'}, uint16(4), uint8(1))
+	f.Add([]byte{0xFF, 0xD8, 0xFF, 0xD9}, uint16(2), uint8(0))
+	f.Add([]byte("not a jpeg at all"), uint16(0), uint8(3))
+	f.Add([]byte{}, uint16(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xA5}, 64), uint16(63), uint8(2))
+
+	f.Fuzz(func(t *testing.T, clean []byte, pos uint16, scaleSel uint8) {
+		// Derive the corrupt twin: one byte flipped (or one byte
+		// appended when empty), guaranteeing clean != corrupt.
+		corrupt := append([]byte(nil), clean...)
+		if len(corrupt) == 0 {
+			corrupt = []byte{0x00}
+		} else {
+			corrupt[int(pos)%len(corrupt)] ^= 0xFF
+		}
+		scale := fuzzScales[int(scaleSel)%len(fuzzScales)]
+
+		for _, salvage := range []bool{false, true} {
+			ck := KeyFor(clean, scale, salvage)
+			// Determinism: same inputs, same key.
+			if KeyFor(clean, scale, salvage) != ck {
+				t.Fatal("KeyFor not deterministic")
+			}
+			// Content isolation: the corrupt twin gets its own key, so
+			// a salvaged decode of it can never answer for the clean
+			// bytes (and vice versa).
+			if KeyFor(corrupt, scale, salvage) == ck {
+				t.Fatalf("clean and corrupt bytes share a key (len %d, salvage %v)", len(clean), salvage)
+			}
+			// Salvage isolation: the same bytes decoded strictly and in
+			// salvage mode are different resources.
+			if KeyFor(clean, scale, !salvage) == ck {
+				t.Fatal("salvage flag not isolated in the key")
+			}
+			// Scale isolation: every other scale keys differently, and
+			// the zero value aliases Scale1 only.
+			for _, other := range fuzzScales {
+				same := other == scale
+				if (KeyFor(clean, other, salvage) == ck) != same {
+					t.Fatalf("scale isolation broken: %v vs %v", other, scale)
+				}
+			}
+			if (KeyFor(clean, 0, salvage) == ck) != (scale == jpegcodec.Scale1) {
+				t.Fatal("zero scale must alias Scale1 and nothing else")
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package rescache
+
+// The -race stress suite for the cache's two load-bearing promises:
+//
+//   - singleflight: N concurrent identical requests cost exactly one
+//     underlying decode — never two leaders for the same key while a
+//     flight or a resident entry exists;
+//   - refcount safety: eviction under churn never frees pixels a
+//     holder is still reading (the race detector sees the pool's
+//     clear() collide with the reader if it ever does), and the
+//     release accounting never goes negative.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/jpegcodec"
+)
+
+// TestSingleflightOneDecodePerKey fires 8 goroutines at one cold key:
+// exactly one decode may run, the other seven must share it as waiters
+// or hits, and every returned entry reads valid pixels.
+func TestSingleflightOneDecodePerKey(t *testing.T) {
+	c := New(1 << 20)
+	k := keyN(0, jpegcodec.Scale1, false)
+
+	var decodes, inFlight atomic.Int32
+	release := make(chan struct{})
+	decode := func() (*core.Result, error) {
+		if inFlight.Add(1) != 1 {
+			t.Error("two decodes in flight for one key")
+		}
+		decodes.Add(1)
+		<-release // hold the flight open so every goroutine piles up
+		inFlight.Add(-1)
+		return fakeResult(32, 32), nil
+	}
+
+	const goroutines = 8
+	var started, wg sync.WaitGroup
+	started.Add(goroutines)
+	statuses := make([]Status, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			ent, st, err := c.Do(context.Background(), k, decode)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			statuses[i] = st
+			if px := ent.Result().Image.Pix; len(px) != 32*32*3 {
+				t.Errorf("goroutine %d: bad pixels (%d bytes)", i, len(px))
+			}
+			ent.Release()
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+
+	if n := decodes.Load(); n != 1 {
+		t.Errorf("%d decodes for 8 concurrent identical requests, want 1", n)
+	}
+	misses := 0
+	for _, st := range statuses {
+		if st == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d flight leaders, want exactly 1 (statuses %v)", misses, statuses)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits+st.Waits != goroutines-1 {
+		t.Errorf("stats %+v, want 1 miss and %d shared outcomes", st, goroutines-1)
+	}
+}
+
+// TestStressMixedOpsColludingKeys is the full -race churn: 8 goroutines
+// x mixed hit/miss/bypass/evict traffic over a colliding key space and
+// a budget small enough to force constant eviction. Per (hash, scale)
+// generation — the life of one resident entry or flight — at most one
+// decode may run; every reader touches its pixels so a premature pool
+// release is a detected race; the final drain asserts the accounting
+// closed clean.
+func TestStressMixedOpsColludingKeys(t *testing.T) {
+	entrySize := resultBytes(fakeResult(24, 24))
+	c := New(3 * entrySize) // 8 keys through a 3-entry budget: constant eviction
+
+	type keyState struct {
+		inFlight atomic.Int32 // decodes running now: must never exceed 1
+		decodes  atomic.Int32
+	}
+	const (
+		goroutines = 8
+		keys       = 8
+		opsPerG    = 400
+	)
+	states := make([]*keyState, keys)
+	ks := make([]Key, keys)
+	for i := range states {
+		states[i] = &keyState{}
+		// Two hashes x two scales x salvage on/off: collisions on every
+		// axis of the key.
+		ks[i] = KeyFor(
+			[]byte(fmt.Sprintf("hot-image-%d", i%2)),
+			[]jpegcodec.Scale{jpegcodec.Scale1, jpegcodec.Scale8}[(i/2)%2],
+			i >= 4,
+		)
+	}
+	// Dedup aliased keys so per-key accounting is per *distinct* key.
+	index := map[Key]int{}
+	for i, k := range ks {
+		if j, ok := index[k]; ok {
+			states[i] = states[j]
+		} else {
+			index[k] = i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 9176))
+			for op := 0; op < opsPerG; op++ {
+				i := rng.Intn(keys)
+				st := states[i]
+				switch rng.Intn(10) {
+				case 0: // bypass: decode outside the cache entirely
+					c.NoteBypass()
+					res := fakeResult(24, 24)
+					_ = res.Image.Pix[0]
+					res.Release()
+				case 1: // probe: hit-or-nothing
+					if ent := c.Get(ks[i]); ent != nil {
+						_ = ent.Result().Image.Pix[0]
+						ent.Release()
+					}
+				default: // the common path: Do with a guarded decode
+					ent, _, err := c.Do(context.Background(), ks[i], func() (*core.Result, error) {
+						if st.inFlight.Add(1) != 1 {
+							t.Errorf("key %d: concurrent decodes in one generation", i)
+						}
+						st.decodes.Add(1)
+						res := fakeResult(24, 24)
+						st.inFlight.Add(-1)
+						return res, nil
+					})
+					if err != nil {
+						t.Errorf("Do: %v", err)
+						continue
+					}
+					// Read through the reference: if eviction freed the
+					// slab early, the pool's clear() races this read.
+					px := ent.Result().Image.Pix
+					_ = px[0] + px[len(px)-1]
+					ent.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := c.Stats()
+	var totalDecodes int32
+	for k, i := range index {
+		n := states[i].decodes.Load()
+		totalDecodes += n
+		if n == 0 {
+			t.Errorf("key %v never decoded", k.Scale)
+		}
+	}
+	if uint64(totalDecodes) != stats.Misses {
+		t.Errorf("decode count %d != miss count %d: a miss ran no decode or a decode ran twice", totalDecodes, stats.Misses)
+	}
+	if stats.Bytes > 3*entrySize || stats.Entries > 3 {
+		t.Errorf("budget violated after churn: %+v", stats)
+	}
+	if stats.Evictions == 0 {
+		t.Error("stress never evicted; budget too loose to test anything")
+	}
+	// Drain: every resident entry must still release cleanly to zero.
+	for k := range index {
+		if ent := c.Get(k); ent != nil {
+			ent.Release()
+		}
+	}
+}
