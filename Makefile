@@ -33,7 +33,13 @@ BENCH_SCALE_OUT ?= BENCH_4.json
 BENCH_HTTP_OUT ?= BENCH_6.json
 BENCH_HTTP_TIME ?= 3s
 
-.PHONY: all build test race bench bench-batch bench-scale bench-http bench-http-smoke bench-smoke fuzz-smoke conformance conformance-faults cover fmt vet lint lint-baseline
+# The transcode trajectory: the coefficient-domain DC-only 1/8
+# thumbnail against the naive full-decode + box-downsample + encode
+# route (the headline ratio), plus the pixel-path transcode per output
+# flavor (half-scale, full-size requantize, progressive output).
+BENCH_XCODE_OUT ?= BENCH_7.json
+
+.PHONY: all build test race bench bench-batch bench-scale bench-http bench-http-smoke bench-transcode bench-smoke fuzz-smoke conformance conformance-faults conformance-transcode cover fmt vet lint lint-baseline
 
 all: build
 
@@ -89,6 +95,15 @@ bench-http:
 bench-http-smoke:
 	go run ./cmd/loadgen -duration 500ms
 
+# bench-transcode records the transcode trajectory into
+# $(BENCH_XCODE_OUT): ThumbFastPath vs ThumbNaive is the committed
+# fast-path ratio (must stay ≥3×).
+bench-transcode:
+	go test ./internal/transcode/ -run='^$$' -bench='BenchmarkTranscode' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench_transcode.txt
+	go run ./cmd/benchjson < bench_transcode.txt > $(BENCH_XCODE_OUT)
+	@echo "wrote $(BENCH_XCODE_OUT)"
+
 # bench-smoke compiles and runs every benchmark in the repo exactly once
 # (CI uses it so benchmarks can never silently rot).
 bench-smoke:
@@ -104,6 +119,7 @@ fuzz-smoke:
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzScaledDecode -fuzztime=10s
 	go test ./internal/jpegcodec/ -run='^$$' -fuzz=FuzzSalvageDecode -fuzztime=10s
 	go test ./internal/rescache/ -fuzz=FuzzCacheKeyIsolation -fuzztime=10s
+	go test ./internal/transcode/ -run='^$$' -fuzz=FuzzTranscode -fuzztime=10s
 
 # conformance runs the differential harness: the generated baseline +
 # progressive corpus through all modes, both schedulers and worker
@@ -122,14 +138,26 @@ conformance:
 conformance-faults:
 	go test ./internal/conformance/ -v -run 'TestFault'
 
+# conformance-transcode runs the round-trip gate on the transcode
+# pipeline: encoder-alone and full-transcode distortion floors per
+# quality (decoded with Go's image/jpeg on the encoder side), bit-exact
+# equality of the DC-only 1/8 fast path with the pixel round trip, and
+# byte identity of pipelined transcodes with the one-shot path across
+# schedulers × workers 1-8 × execution modes.
+conformance-transcode:
+	go test ./internal/conformance/ -v -run 'TestConformanceTranscode|TestConformanceEncoderRoundTrip'
+
 # COVER_FLOOR is the combined statement-coverage floor for the decoder
 # core packages (jpegcodec + jfif), measured across their own tests plus
 # the conformance harness. SVC_COVER_FLOOR is the same floor for the
 # service-tier packages (rescache + metrics), measured across their own
-# tests plus the imaged suite that drives them over HTTP. Raise the
-# floors as coverage grows; never lower them to make a PR pass.
+# tests plus the imaged suite that drives them over HTTP.
+# XCODE_COVER_FLOOR covers the transcode pipeline from its own suite.
+# Raise the floors as coverage grows; never lower them to make a PR
+# pass.
 COVER_FLOOR ?= 85.0
 SVC_COVER_FLOOR ?= 85.0
+XCODE_COVER_FLOOR ?= 85.0
 
 cover:
 	go test -coverpkg=hetjpeg/internal/jpegcodec,hetjpeg/internal/jfif \
@@ -146,6 +174,12 @@ cover:
 	echo "rescache+metrics coverage: $$total% (floor $(SVC_COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(SVC_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% below floor $(SVC_COVER_FLOOR)%"; exit 1; }
+	go test -coverpkg=hetjpeg/internal/transcode \
+		-coverprofile=cover_xcode.out ./internal/transcode
+	@total=$$(go tool cover -func=cover_xcode.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	echo "transcode coverage: $$total% (floor $(XCODE_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(XCODE_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below floor $(XCODE_COVER_FLOOR)%"; exit 1; }
 
 fmt:
 	gofmt -l -w .

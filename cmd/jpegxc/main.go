@@ -1,0 +1,217 @@
+// Command jpegxc transcodes JPEG files: decode (optionally directly to
+// 1/2, 1/4 or 1/8 scale), then re-encode with optimal Huffman tables
+// and optional progressive output. Baseline inputs transcoded to 1/8
+// ride the coefficient-domain DC-only fast path — no pixel-domain IDCT
+// runs. Several positional files transcode as one concurrent batch over
+// the heterogeneous decode pipeline.
+//
+// Usage:
+//
+//	jpegxc -in photo.jpg -out thumb.jpg -scale 1/8 -quality 80
+//	jpegxc -scale 1/2 -progressive -script spectral -workers 8 *.jpg
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"hetjpeg"
+	"hetjpeg/internal/batch"
+	"hetjpeg/internal/core"
+	"hetjpeg/internal/transcode"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jpegxc: ")
+
+	in := flag.String("in", "", "input JPEG file (or pass files as arguments)")
+	out := flag.String("out", "", "output file (single input; default <name>.xc.jpg)")
+	outDir := flag.String("outdir", "", "output directory for batch mode (default alongside inputs)")
+	scaleName := flag.String("scale", "1", "decode scale: 1|1/2|1/4|1/8 (scaled IDCT, not post-shrink)")
+	quality := flag.Int("quality", 0, "output quality 1..100 (0 means 75)")
+	progressive := flag.Bool("progressive", false, "emit a progressive (SOF2) output stream")
+	script := flag.String("script", "", "progressive scan script: "+strings.Join(hetjpeg.ScriptNames(), "|"))
+	subName := flag.String("subsampling", "444", "output chroma layout: 444|422|420")
+	modeName := flag.String("mode", "pps", "decode mode: auto|sequential|simd|gpu|pipeline|sps|pps")
+	schedName := flag.String("scheduler", "bands", "batch decode engine: bands|perimage")
+	platformName := flag.String("platform", "GTX 560", `"GT 430", "GTX 560" or "GTX 680"`)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "intra-image parallelism and batch concurrency")
+	flag.Parse()
+
+	files := flag.Args()
+	if *in != "" {
+		files = append([]string{*in}, files...)
+	}
+	if len(files) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out != "" && len(files) > 1 {
+		log.Fatal("-out only applies to a single input; use -outdir for batches")
+	}
+
+	scale, ok := hetjpeg.ParseScale(*scaleName)
+	if !ok {
+		log.Fatalf("unknown scale %q (want 1, 1/2, 1/4 or 1/8)", *scaleName)
+	}
+	var sub hetjpeg.Subsampling
+	switch *subName {
+	case "444":
+		sub = hetjpeg.Sub444
+	case "422":
+		sub = hetjpeg.Sub422
+	case "420":
+		sub = hetjpeg.Sub420
+	default:
+		log.Fatalf("unknown subsampling %q (want 444, 422 or 420)", *subName)
+	}
+	opts := transcode.Options{
+		Scale:       scale,
+		Quality:     *quality,
+		Progressive: *progressive,
+		Script:      *script,
+		Subsampling: sub,
+		Workers:     *workers,
+	}
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if len(files) > 1 {
+		transcodeBatch(files, opts, *modeName, *schedName, *platformName, *outDir, *workers)
+		return
+	}
+
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := transcode.Transcode(data, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = outputName(files[0], *outDir)
+	}
+	if err := os.WriteFile(dst, res.Data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	printResult(files[0], dst, len(data), res)
+}
+
+// outputName derives <name>.xc.jpg alongside the input (or under dir).
+func outputName(input, dir string) string {
+	base := strings.TrimSuffix(filepath.Base(input), filepath.Ext(input)) + ".xc.jpg"
+	if dir == "" {
+		dir = filepath.Dir(input)
+	}
+	return filepath.Join(dir, base)
+}
+
+func printResult(src, dst string, inBytes int, res *transcode.Result) {
+	path := "pixel"
+	if res.FastPath {
+		path = "DC fast path"
+	}
+	fmt.Printf("%s -> %s: %dx%d, %d -> %d bytes (%s, %s encode)\n",
+		src, dst, res.W, res.H, inBytes, len(res.Data), path, res.Class)
+	fmt.Printf("  decode %.2f ms, encode %.2f ms (%d MCUs)\n",
+		float64(res.DecodeNs)/1e6, float64(res.EncodeNs)/1e6, res.MCUs)
+}
+
+// transcodeBatch runs the files through the pipelined front end: the
+// decode stages share one heterogeneous batch executor while each
+// finished decode re-encodes on its submitter's goroutine. A file that
+// fails only fails its own slot.
+func transcodeBatch(files []string, opts transcode.Options, modeName, schedName, platformName, outDir string, workers int) {
+	spec := hetjpeg.PlatformByName(platformName)
+	if spec == nil {
+		log.Fatalf("unknown platform %q", platformName)
+	}
+	mode, ok := hetjpeg.ParseMode(modeName)
+	if !ok {
+		log.Fatalf("unknown mode %q", modeName)
+	}
+	sched, ok := hetjpeg.ParseScheduler(schedName)
+	if !ok {
+		log.Fatalf("unknown scheduler %q", schedName)
+	}
+	var model *hetjpeg.Model
+	if mode == hetjpeg.ModeSPS || mode == hetjpeg.ModePPS {
+		var err error
+		if model, err = hetjpeg.Train(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	p, err := transcode.NewPipeline(batch.Options{
+		Spec: spec, Model: model, Mode: core.Mode(mode), Scheduler: sched,
+		Workers: workers, Scale: opts.Scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	type slot struct {
+		res *transcode.Result
+		err error
+	}
+	slots := make([]slot, len(files))
+	start := time.Now()
+	var sem = make(chan struct{}, workers)
+	done := make(chan int)
+	for i, name := range files {
+		go func(i int, name string) {
+			defer func() { done <- i }()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, err := os.ReadFile(name)
+			if err != nil {
+				slots[i].err = err
+				return
+			}
+			slots[i].res, slots[i].err = p.Transcode(context.Background(), data, opts)
+		}(i, name)
+	}
+	for range files {
+		<-done
+	}
+	wall := time.Since(start)
+
+	failed, fast := 0, 0
+	for i, name := range files {
+		switch s := slots[i]; {
+		case s.err != nil:
+			failed++
+			fmt.Printf("  %-24s FAILED: %v\n", name, s.err)
+		default:
+			dst := outputName(name, outDir)
+			if err := os.WriteFile(dst, s.res.Data, 0o644); err != nil {
+				failed++
+				fmt.Printf("  %-24s FAILED: %v\n", name, err)
+				continue
+			}
+			if s.res.FastPath {
+				fast++
+			}
+			fmt.Printf("  %-24s %4dx%-4d  %7d bytes  dec %6.2f ms  enc %6.2f ms\n",
+				name, s.res.W, s.res.H, len(s.res.Data),
+				float64(s.res.DecodeNs)/1e6, float64(s.res.EncodeNs)/1e6)
+		}
+	}
+	fmt.Printf("\n%d files (%d failed, %d fast-path) on %s with %s, %d workers\n",
+		len(files), failed, fast, spec, mode, workers)
+	fmt.Printf("wall clock: %.2f ms\n", float64(wall.Microseconds())/1000)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"hetjpeg/internal/jpegcodec"
 	"hetjpeg/internal/perfmodel"
 	"hetjpeg/internal/platform"
+	"hetjpeg/internal/transcode"
 )
 
 // Mode selects the execution strategy.
@@ -209,6 +210,38 @@ type EncodeOptions = jpegcodec.EncodeOptions
 
 // ScanSpec describes one scan of a progressive encode script.
 type ScanSpec = jpegcodec.ScanSpec
+
+// ScriptByName resolves a named progressive scan script ("default",
+// "spectral", "multiband", "deepsa"; "" means default) from the one
+// authoritative table; ok is false for unknown names.
+func ScriptByName(name string) ([]ScanSpec, bool) { return jpegcodec.ScriptByName(name) }
+
+// ScriptNames returns the accepted progressive scan-script names.
+func ScriptNames() []string { return jpegcodec.ScriptNames() }
+
+// TranscodeOptions configures Transcode: decode scale, output quality,
+// progressive output with a named scan script, output subsampling and
+// intra-image parallelism.
+type TranscodeOptions = transcode.Options
+
+// TranscodeResult is one finished transcode: the re-encoded stream plus
+// stage accounting (and whether the coefficient-domain DC-only fast
+// path served the decode).
+type TranscodeResult = transcode.Result
+
+// ErrBadTranscodeOptions marks a transcode refused for invalid knobs;
+// check it with errors.Is to distinguish a caller error from a corrupt
+// input stream.
+var ErrBadTranscodeOptions = transcode.ErrBadOptions
+
+// Transcode re-encodes a JPEG stream: decode (optionally directly at
+// 1/2, 1/4 or 1/8 scale), then encode with optimal Huffman tables under
+// the given knobs. A baseline input at 1/8 runs the coefficient-domain
+// fast path — DC-only storage, no pixel-domain IDCT — and still emits
+// bytes identical to the general pixel path.
+func Transcode(data []byte, opts TranscodeOptions) (*TranscodeResult, error) {
+	return transcode.Transcode(data, opts)
+}
 
 // Encode compresses an RGB image into a JPEG stream.
 func Encode(img *Image, opts EncodeOptions) ([]byte, error) { return jpegcodec.Encode(img, opts) }

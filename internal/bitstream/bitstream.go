@@ -252,6 +252,12 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// NewWriterBuf returns an empty Writer that appends into buf's backing
+// array (reset to length 0). The encoder seeds writers with pooled
+// slabs so steady-state entropy emission stays allocation-flat; Flush
+// returns the possibly-regrown buffer for the caller to recycle.
+func NewWriterBuf(buf []byte) *Writer { return &Writer{buf: buf[:0]} }
+
 // WriteBits appends the low n bits of v (n ≤ 24), MSB first.
 func (w *Writer) WriteBits(v uint32, n uint) {
 	if n == 0 {

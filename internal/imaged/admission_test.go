@@ -111,3 +111,119 @@ func TestRetryAfterSeconds(t *testing.T) {
 		})
 	}
 }
+
+// TestRetryAfterSecondsMixed pins the transcode-aware pricing: the
+// decode term is unchanged from retryAfterSeconds, and bytes admitted
+// for /transcode additionally owe an encode pass at the learned encode
+// ns/MCU. With no transcode backlog (or a cold encode rate) the mixed
+// estimate must equal the decode-only one.
+func TestRetryAfterSecondsMixed(t *testing.T) {
+	calibrated := hetjpeg.BatchQueueStats{
+		EntropyNsPerMCU: 300_000,
+		BackNsPerMCU:    200_000,
+		BytesPerMCU:     100,
+	}
+	cases := []struct {
+		name      string
+		pending   int64
+		transcode int64
+		st        hetjpeg.BatchQueueStats
+		workers   int
+		encNs     float64
+		want      int
+	}{
+		{
+			// No bytes→MCU conversion means no honest estimate, even when
+			// the encode rate alone is known.
+			name:      "cold calibration answers 1s",
+			pending:   10 << 20,
+			transcode: 10 << 20,
+			st:        hetjpeg.BatchQueueStats{},
+			workers:   4,
+			encNs:     500_000,
+			want:      1,
+		},
+		{
+			// Zero transcode backlog: identical to retryAfterSeconds
+			// ("bytes to MCUs to seconds" case above answers 3s).
+			name:      "no transcode backlog matches decode-only pricing",
+			pending:   2_000_000,
+			transcode: 0,
+			st:        calibrated,
+			workers:   4,
+			encNs:     500_000,
+			want:      3,
+		},
+		{
+			// Unlearned encode rate: the transcode bytes still owe their
+			// decode (they are part of pending) but the encode term drops
+			// out rather than pricing from garbage.
+			name:      "cold encode rate degenerates to decode-only",
+			pending:   2_000_000,
+			transcode: 2_000_000,
+			st:        calibrated,
+			workers:   4,
+			encNs:     0,
+			want:      3,
+		},
+		{
+			// Decode: 20000 MCUs x 500us / 4 = 2.5s. Encode: 20000 MCUs x
+			// 500us / 4 = 2.5s. Total 5s.
+			name:      "encode term adds to the decode term",
+			pending:   2_000_000,
+			transcode: 2_000_000,
+			st:        calibrated,
+			workers:   4,
+			encNs:     500_000,
+			want:      5,
+		},
+		{
+			// Decode rates missing but encode rate learned: the transcode
+			// backlog still prices (2e6 B / 100 B/MCU x 500us / 1 = 10s).
+			name:      "encode-only backlog still priced",
+			pending:   2_000_000,
+			transcode: 2_000_000,
+			st:        hetjpeg.BatchQueueStats{BytesPerMCU: 100},
+			workers:   1,
+			encNs:     500_000,
+			want:      10,
+		},
+		{
+			name:      "mixed estimate clamps at 60s",
+			pending:   1 << 30,
+			transcode: 1 << 30,
+			st:        hetjpeg.BatchQueueStats{EntropyNsPerMCU: 500_000, BackNsPerMCU: 500_000, BytesPerMCU: 1},
+			workers:   1,
+			encNs:     1_000_000,
+			want:      60,
+		},
+		{
+			name:      "all-zero backlog clamps at 1s",
+			pending:   0,
+			transcode: 0,
+			st:        calibrated,
+			workers:   4,
+			encNs:     500_000,
+			want:      1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryAfterSecondsMixed(tc.pending, tc.transcode, tc.st, tc.workers, tc.encNs)
+			if got != tc.want {
+				t.Errorf("retryAfterSecondsMixed(%d, %d, %+v, %d, %g) = %d, want %d",
+					tc.pending, tc.transcode, tc.st, tc.workers, tc.encNs, got, tc.want)
+			}
+		})
+	}
+	// Agreement property: for any decode-only backlog the two pricers
+	// must answer identically — /decode and /transcode 429s stay
+	// consistent when no encode work is queued.
+	for _, pending := range []int64{0, 100, 1500, 2_000_000, 1 << 30} {
+		a := retryAfterSeconds(pending, calibrated, 2)
+		b := retryAfterSecondsMixed(pending, 0, calibrated, 2, 700_000)
+		if a != b {
+			t.Errorf("pending=%d: retryAfterSeconds=%d but mixed=%d with zero transcode backlog", pending, a, b)
+		}
+	}
+}

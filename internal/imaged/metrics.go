@@ -5,6 +5,7 @@ import (
 
 	"hetjpeg"
 	"hetjpeg/internal/metrics"
+	"hetjpeg/internal/perfmodel"
 )
 
 // buildMetrics registers the service's Prometheus catalog. Counters the
@@ -29,6 +30,28 @@ func (s *Server) buildMetrics() {
 	for _, sc := range []hetjpeg.Scale{hetjpeg.Scale1, hetjpeg.Scale2, hetjpeg.Scale4, hetjpeg.Scale8} {
 		s.mDecodeDur.With(sc.String())
 	}
+
+	// Transcode: re-encode latency by encode rate class, totals, and the
+	// learned per-class ns/MCU rates behind the Retry-After encode term.
+	s.mEncodeDur = reg.NewHistogramVec("hetjpeg_encode_duration_seconds",
+		"Wall-clock re-encode latency of /transcode by encode rate class.",
+		metrics.DurationBuckets, "class")
+	encRate := reg.NewGaugeFuncVec("hetjpeg_encode_ns_per_mcu",
+		"Learned re-encode cost per output MCU by encode rate class.", "class")
+	for _, c := range perfmodel.EncodeClasses() {
+		c := c
+		s.mEncodeDur.With(c.String())
+		encRate.Bind(func() float64 { return s.encRates.Value(c) }, c.String())
+	}
+	reg.NewCounterFunc("hetjpeg_transcode_total",
+		"Successful /transcode responses.",
+		func() uint64 { return s.transcodes.Load() })
+	reg.NewCounterFunc("hetjpeg_transcode_fastpath_total",
+		"Transcodes whose decode ran the coefficient-domain DC-only path.",
+		func() uint64 { return s.fastpathTranscodes.Load() })
+	reg.NewGaugeFunc("hetjpeg_transcode_pending_bytes",
+		"Admitted transcode bytes still owing their re-encode pass.",
+		func() float64 { return float64(s.transBytes.Load()) })
 
 	// Decoded-output cache. Outcome mirrors the X-Hetjpeg-Cache header.
 	cacheReq := reg.NewCounterFuncVec("hetjpeg_cache_requests_total",

@@ -55,6 +55,7 @@ import (
 	"hetjpeg"
 	"hetjpeg/internal/metrics"
 	"hetjpeg/internal/rescache"
+	"hetjpeg/internal/transcode"
 )
 
 // Config configures a Server. Spec is required; everything else has a
@@ -164,6 +165,15 @@ type Server struct {
 
 	reg        *metrics.Registry
 	mDecodeDur *metrics.HistogramVec
+	mEncodeDur *metrics.HistogramVec
+
+	// Transcode accounting: the learned per-class encode rates, the
+	// admitted-but-unfinished transcode bytes (the subset of the gate's
+	// pending bytes that still owes an encode pass), and totals.
+	encRates           transcode.Rates
+	transBytes         atomic.Int64
+	transcodes         atomic.Uint64
+	fastpathTranscodes atomic.Uint64
 
 	draining atomic.Bool
 	panics   atomic.Uint64
@@ -199,6 +209,10 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.buildMetrics()
+	// Seed the encode rate classes with a calibration encode so the
+	// first 429 already prices the transcode backlog defensibly; live
+	// traffic corrects the seeds through the EWMA.
+	s.encRates.Calibrate()
 	return s, nil
 }
 
@@ -222,6 +236,7 @@ func (s *Server) Close() { s.disp.close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decode", s.handleDecode)
+	mux.HandleFunc("/transcode", s.handleTranscode)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -539,7 +554,8 @@ func readJPEGBody(w http.ResponseWriter, r *http.Request, maxBody int64) (data [
 }
 
 func (s *Server) retryAfterSec() int {
-	return retryAfterSeconds(s.gate.pendingByteCount(), s.ex.QueueStats(), s.cfg.Workers)
+	return retryAfterSecondsMixed(s.gate.pendingByteCount(), s.transBytes.Load(),
+		s.ex.QueueStats(), s.cfg.Workers, s.encRates.Max())
 }
 
 // retryAfterSeconds prices a 429's Retry-After from the scheduler's
@@ -596,6 +612,11 @@ type statzReply struct {
 	Draining bool                    `json:"draining"`
 	UptimeMs float64                 `json:"uptimeMs"`
 	Workers  int                     `json:"workers"`
+	// Transcode accounting: total /transcode successes, how many rode
+	// the DC-only fast path, and the encode backlog's pending bytes.
+	Transcodes         uint64 `json:"transcodes"`
+	FastpathTranscodes uint64 `json:"fastpathTranscodes"`
+	TranscodeBytes     int64  `json:"transcodeBytes"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -608,6 +629,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Draining: s.draining.Load(),
 		UptimeMs: float64(time.Since(s.started).Microseconds()) / 1000,
 		Workers:  s.cfg.Workers,
+
+		Transcodes:         s.transcodes.Load(),
+		FastpathTranscodes: s.fastpathTranscodes.Load(),
+		TranscodeBytes:     s.transBytes.Load(),
 	})
 }
 

@@ -209,21 +209,30 @@ type ProgressiveVariant struct {
 // spectral-selection-only script, a multi-band script with EOB runs
 // over mostly-zero high bands, a deep successive-approximation script
 // (maximal refinement coverage), and restart-interval variants of both
-// interleaved-DC and AC scans.
+// interleaved-DC and AC scans. Every script is resolved through the
+// encoder's named script table (jpegcodec.ScriptByName), so fixtures
+// can never drift from what the public encoder emits for that name.
 func ProgressiveVariants() []ProgressiveVariant {
+	script := func(name string) []jpegcodec.ScanSpec {
+		sc, ok := jpegcodec.ScriptByName(name)
+		if !ok {
+			panic(fmt.Sprintf("imagegen: script %q missing from the jpegcodec table", name))
+		}
+		return sc
+	}
 	return []ProgressiveVariant{
-		{Name: "default-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptDefault()},
-		{Name: "default-422", Sub: jfif.Sub422, Script: jpegcodec.ScriptDefault()},
-		{Name: "default-420", Sub: jfif.Sub420, Script: jpegcodec.ScriptDefault()},
-		{Name: "spectral-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptSpectralOnly()},
-		{Name: "spectral-420", Sub: jfif.Sub420, Script: jpegcodec.ScriptSpectralOnly()},
-		{Name: "multiband-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptMultiBand()},
-		{Name: "multiband-422", Sub: jfif.Sub422, Script: jpegcodec.ScriptMultiBand()},
-		{Name: "deepsa-444", Sub: jfif.Sub444, Script: jpegcodec.ScriptDeepSA()},
-		{Name: "deepsa-420", Sub: jfif.Sub420, Script: jpegcodec.ScriptDeepSA()},
-		{Name: "default-444-rst3", Sub: jfif.Sub444, Script: jpegcodec.ScriptDefault(), RestartInterval: 3},
-		{Name: "spectral-444-rst7", Sub: jfif.Sub444, Script: jpegcodec.ScriptSpectralOnly(), RestartInterval: 7},
-		{Name: "spectral-420-rst4", Sub: jfif.Sub420, Script: jpegcodec.ScriptSpectralOnly(), RestartInterval: 4},
+		{Name: "default-444", Sub: jfif.Sub444, Script: script("default")},
+		{Name: "default-422", Sub: jfif.Sub422, Script: script("default")},
+		{Name: "default-420", Sub: jfif.Sub420, Script: script("default")},
+		{Name: "spectral-444", Sub: jfif.Sub444, Script: script("spectral")},
+		{Name: "spectral-420", Sub: jfif.Sub420, Script: script("spectral")},
+		{Name: "multiband-444", Sub: jfif.Sub444, Script: script("multiband")},
+		{Name: "multiband-422", Sub: jfif.Sub422, Script: script("multiband")},
+		{Name: "deepsa-444", Sub: jfif.Sub444, Script: script("deepsa")},
+		{Name: "deepsa-420", Sub: jfif.Sub420, Script: script("deepsa")},
+		{Name: "default-444-rst3", Sub: jfif.Sub444, Script: script("default"), RestartInterval: 3},
+		{Name: "spectral-444-rst7", Sub: jfif.Sub444, Script: script("spectral"), RestartInterval: 7},
+		{Name: "spectral-420-rst4", Sub: jfif.Sub420, Script: script("spectral"), RestartInterval: 4},
 	}
 }
 

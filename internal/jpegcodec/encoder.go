@@ -2,6 +2,7 @@ package jpegcodec
 
 import (
 	"fmt"
+	"sync"
 
 	"hetjpeg/internal/bitstream"
 	"hetjpeg/internal/color"
@@ -27,6 +28,14 @@ type EncodeOptions struct {
 	Progressive bool
 	// Script is the progressive scan script; ignored unless Progressive.
 	Script []ScanSpec
+	// Workers bounds the forward pass's parallelism: color conversion,
+	// chroma downsampling, padding, forward DCT and quantization run as
+	// contiguous row bands across this many goroutines (the mirror of
+	// the decoder's MCU-row band decomposition). 0 or 1 runs
+	// sequentially. Output is byte-identical for every worker count —
+	// bands write disjoint regions and the entropy pass stays
+	// sequential.
+	Workers int
 }
 
 func (o *EncodeOptions) withDefaults() EncodeOptions {
@@ -60,14 +69,25 @@ func Encode(img *RGBImage, opts EncodeOptions) ([]byte, error) {
 		{ID: 3, H: 1, V: 1, QuantSel: 1, DCSel: 1, ACSel: 1},
 	}
 
-	planes, infos := buildEncodePlanes(img, opts.Subsampling)
+	planes, infos, releasePlanes := buildEncodePlanes(img, opts.Subsampling, opts.Workers)
 
-	// Quantized coefficients per component, blocks in raster order.
+	// Quantized coefficients per component, blocks in raster order, in
+	// pooled whole-image slabs (the encode-side mirror of Frame.Coeff).
 	quants := [3]*[64]uint16{&lumaQ, &chromaQ, &chromaQ}
 	coeffs := make([][]int32, 3)
 	for ci := range planes {
-		coeffs[ci] = forwardComponent(planes[ci], infos[ci], quants[ci])
+		c := getCoeffSlab(infos[ci].Blocks() * 64)
+		forwardComponent(planes[ci], infos[ci], quants[ci], c, opts.Workers)
+		coeffs[ci] = c
 	}
+	// The sample planes are consumed by the forward pass; only the
+	// coefficients feed entropy encoding.
+	releasePlanes()
+	defer func() {
+		for _, c := range coeffs {
+			putCoeffSlab(c)
+		}
+	}()
 
 	mcuW, mcuH := opts.Subsampling.MCUPixels()
 	mcusPerRow := (img.W + mcuW - 1) / mcuW
@@ -110,7 +130,7 @@ func Encode(img *RGBImage, opts EncodeOptions) ([]byte, error) {
 		}
 	}
 
-	emit := &bitEmitter{w: bitstream.NewWriter(), tabs: &tabs}
+	emit := &bitEmitter{w: newEntropyWriter(infos), tabs: &tabs}
 	if err := encodeScan(emit, comps, coeffs, infos, mcusPerRow, mcuRows, opts.RestartInterval); err != nil {
 		return nil, err
 	}
@@ -128,20 +148,74 @@ func Encode(img *RGBImage, opts EncodeOptions) ([]byte, error) {
 	if opts.RestartInterval > 0 {
 		jw.WriteDRI(opts.RestartInterval)
 	}
+	// WriteSOS copies the entropy bytes into the container, so the
+	// pooled emission buffer goes straight back.
 	jw.WriteSOS(comps, entropy)
+	putByteSlab(entropy)
 	return jw.Finish(), nil
 }
 
-// buildEncodePlanes converts to YCbCr, downsamples chroma, and pads each
-// plane to its MCU-aligned geometry with edge replication.
-func buildEncodePlanes(img *RGBImage, sub jfif.Subsampling) ([3][]byte, [3]PlaneInfo) {
-	w, h := img.W, img.H
-	yP := make([]byte, w*h)
-	cbP := make([]byte, w*h)
-	crP := make([]byte, w*h)
-	for i, px := 0, 0; i < w*h; i, px = i+1, px+3 {
-		yP[i], cbP[i], crP[i] = color.RGBToYCbCr(img.Pix[px], img.Pix[px+1], img.Pix[px+2])
+// newEntropyWriter returns a bit writer appending into a pooled slab
+// sized for a typical photographic scan (~2 bytes per 8x8 block at
+// quality 75-90); the writer regrows past it and Flush hands the final
+// buffer back for recycling.
+func newEntropyWriter(infos [3]PlaneInfo) *bitstream.Writer {
+	blocks := 0
+	for _, info := range infos {
+		blocks += info.Blocks()
 	}
+	return bitstream.NewWriterBuf(getByteSlab(blocks * 2))
+}
+
+// parallelRowBands splits [0, n) into contiguous chunks across at most
+// `workers` goroutines. fn writes only its own [lo, hi) range, so the
+// result is byte-identical for every worker count; workers <= 1 runs
+// inline.
+func parallelRowBands(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// buildEncodePlanes converts to YCbCr, downsamples chroma, and pads each
+// plane to its MCU-aligned geometry with edge replication. All planes —
+// intermediates and the returned ones — live in pooled slabs; the
+// intermediates go back to the pool before return, and the release
+// closure recycles the three final planes once the forward pass has
+// consumed them.
+func buildEncodePlanes(img *RGBImage, sub jfif.Subsampling, workers int) ([3][]byte, [3]PlaneInfo, func()) {
+	w, h := img.W, img.H
+	yP := getByteSlab(w * h)
+	cbP := getByteSlab(w * h)
+	crP := getByteSlab(w * h)
+	parallelRowBands(h, workers, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			px := y * w * 3
+			for i := y * w; i < (y+1)*w; i, px = i+1, px+3 {
+				yP[i], cbP[i], crP[i] = color.RGBToYCbCr(img.Pix[px], img.Pix[px+1], img.Pix[px+2])
+			}
+		}
+	})
 
 	hs, vs := sub.Factors()
 	mcuW, mcuH := sub.MCUPixels()
@@ -155,102 +229,128 @@ func buildEncodePlanes(img *RGBImage, sub jfif.Subsampling) ([3][]byte, [3]Plane
 	infos[1] = PlaneInfo{CompW: cw, CompH: ch, BlocksPerRow: mcusPerRow, BlockRows: mcuRows, H: 1, V: 1}
 	infos[2] = infos[1]
 
-	// Downsample chroma.
+	// Downsample chroma. cb2/cr2 alias cbP/crP at 4:4:4 and are fresh
+	// pooled slabs otherwise.
 	var cb2, cr2 []byte
 	switch sub {
 	case jfif.Sub444:
 		cb2, cr2 = cbP, crP
 	case jfif.Sub422:
-		cb2 = make([]byte, cw*ch)
-		cr2 = make([]byte, cw*ch)
-		for y := 0; y < h; y++ {
-			in := padRow(cbP[y*w:y*w+w], 2*cw)
-			color.DownsampleRowsH2V1(in, cb2[y*cw:y*cw+cw])
-			in = padRow(crP[y*w:y*w+w], 2*cw)
-			color.DownsampleRowsH2V1(in, cr2[y*cw:y*cw+cw])
-		}
+		cb2 = getByteSlab(cw * ch)
+		cr2 = getByteSlab(cw * ch)
+		parallelRowBands(h, workers, func(lo, hi int) {
+			// Per-band scratch for padding odd-width rows to the
+			// downsampler's even input length.
+			scratch := getByteSlab(2 * cw)
+			for y := lo; y < hi; y++ {
+				in := padRowInto(scratch, cbP[y*w:y*w+w])
+				color.DownsampleRowsH2V1(in, cb2[y*cw:y*cw+cw])
+				in = padRowInto(scratch, crP[y*w:y*w+w])
+				color.DownsampleRowsH2V1(in, cr2[y*cw:y*cw+cw])
+			}
+			putByteSlab(scratch)
+		})
 	case jfif.Sub420:
 		evenW, evenH := 2*cw, 2*ch
-		cbe := padPlane(cbP, w, h, evenW, evenH)
-		cre := padPlane(crP, w, h, evenW, evenH)
-		cb2 = make([]byte, cw*ch)
-		cr2 = make([]byte, cw*ch)
+		cbe := padPlaneSlab(cbP, w, h, evenW, evenH, workers)
+		cre := padPlaneSlab(crP, w, h, evenW, evenH, workers)
+		cb2 = getByteSlab(cw * ch)
+		cr2 = getByteSlab(cw * ch)
 		color.DownsampleH2V2(cbe, evenW, evenH, cb2)
 		color.DownsampleH2V2(cre, evenW, evenH, cr2)
+		putByteSlab(cbe)
+		putByteSlab(cre)
 	}
 
 	var planes [3][]byte
-	planes[0] = padPlane(yP, w, h, infos[0].PlaneW(), infos[0].PlaneH())
-	planes[1] = padPlane(cb2, cw, ch, infos[1].PlaneW(), infos[1].PlaneH())
-	planes[2] = padPlane(cr2, cw, ch, infos[2].PlaneW(), infos[2].PlaneH())
-	return planes, infos
+	planes[0] = padPlaneSlab(yP, w, h, infos[0].PlaneW(), infos[0].PlaneH(), workers)
+	planes[1] = padPlaneSlab(cb2, cw, ch, infos[1].PlaneW(), infos[1].PlaneH(), workers)
+	planes[2] = padPlaneSlab(cr2, cw, ch, infos[2].PlaneW(), infos[2].PlaneH(), workers)
+
+	putByteSlab(yP)
+	putByteSlab(cbP)
+	putByteSlab(crP)
+	if sub != jfif.Sub444 {
+		putByteSlab(cb2)
+		putByteSlab(cr2)
+	}
+	release := func() {
+		for _, p := range planes {
+			putByteSlab(p)
+		}
+	}
+	return planes, infos, release
 }
 
-// padRow returns row extended to length n by replicating the last sample.
-func padRow(row []byte, n int) []byte {
-	if len(row) >= n {
-		return row[:n]
+// padRowInto copies row into dst, replicating the last sample to fill
+// the tail. Rows already long enough pass through without a copy.
+func padRowInto(dst, row []byte) []byte {
+	if len(row) >= len(dst) {
+		return row[:len(dst)]
 	}
-	out := make([]byte, n)
-	copy(out, row)
+	copy(dst, row)
 	last := row[len(row)-1]
-	for i := len(row); i < n; i++ {
-		out[i] = last
+	for i := len(row); i < len(dst); i++ {
+		dst[i] = last
 	}
-	return out
+	return dst
 }
 
-// padPlane expands a w×h plane to pw×ph by edge replication.
-func padPlane(p []byte, w, h, pw, ph int) []byte {
-	if w == pw && h == ph {
-		return p
-	}
-	out := make([]byte, pw*ph)
-	for y := 0; y < ph; y++ {
-		sy := y
-		if sy >= h {
-			sy = h - 1
+// padPlaneSlab expands a w×h plane to pw×ph by edge replication into a
+// fresh pooled slab (always a copy, so the caller's release accounting
+// never depends on whether padding happened).
+func padPlaneSlab(p []byte, w, h, pw, ph, workers int) []byte {
+	out := getByteSlab(pw * ph)
+	parallelRowBands(ph, workers, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			sy := y
+			if sy >= h {
+				sy = h - 1
+			}
+			dst := out[y*pw : y*pw+pw]
+			src := p[sy*w : sy*w+w]
+			copy(dst, src)
+			last := src[w-1]
+			for x := w; x < pw; x++ {
+				dst[x] = last
+			}
 		}
-		dst := out[y*pw : y*pw+pw]
-		src := p[sy*w : sy*w+w]
-		copy(dst, src)
-		last := src[w-1]
-		for x := w; x < pw; x++ {
-			dst[x] = last
-		}
-	}
+	})
 	return out
 }
 
 // forwardComponent runs level shift, forward DCT and quantization over
-// every block of a padded plane.
-func forwardComponent(plane []byte, info PlaneInfo, quant *[64]uint16) []int32 {
+// every block of a padded plane, writing quantized coefficients into
+// out (len info.Blocks()*64). Block rows fan out as contiguous bands;
+// each band owns disjoint output blocks, so results match the
+// sequential pass bit for bit.
+func forwardComponent(plane []byte, info PlaneInfo, quant *[64]uint16, out []int32, workers int) {
 	pw := info.PlaneW()
-	out := make([]int32, info.Blocks()*64)
-	var blk [64]int32
-	for by := 0; by < info.BlockRows; by++ {
-		for bx := 0; bx < info.BlocksPerRow; bx++ {
-			for y := 0; y < 8; y++ {
-				base := (by*8+y)*pw + bx*8
-				for x := 0; x < 8; x++ {
-					blk[y*8+x] = int32(plane[base+x]) - 128
+	parallelRowBands(info.BlockRows, workers, func(lo, hi int) {
+		var blk [64]int32
+		for by := lo; by < hi; by++ {
+			for bx := 0; bx < info.BlocksPerRow; bx++ {
+				for y := 0; y < 8; y++ {
+					base := (by*8+y)*pw + bx*8
+					for x := 0; x < 8; x++ {
+						blk[y*8+x] = int32(plane[base+x]) - 128
+					}
 				}
-			}
-			dct.ForwardInt(&blk)
-			dst := out[(by*info.BlocksPerRow+bx)*64:]
-			for i := 0; i < 64; i++ {
-				// ForwardInt output is scaled by 8.
-				d := int32(quant[i]) * 8
-				v := blk[i]
-				if v >= 0 {
-					dst[i] = (v + d/2) / d
-				} else {
-					dst[i] = -((-v + d/2) / d)
+				dct.ForwardInt(&blk)
+				dst := out[(by*info.BlocksPerRow+bx)*64:]
+				for i := 0; i < 64; i++ {
+					// ForwardInt output is scaled by 8.
+					d := int32(quant[i]) * 8
+					v := blk[i]
+					if v >= 0 {
+						dst[i] = (v + d/2) / d
+					} else {
+						dst[i] = -((-v + d/2) / d)
+					}
 				}
 			}
 		}
-	}
-	return out
+	})
 }
 
 // scanEmitter abstracts the two encoder passes: statistics gathering and

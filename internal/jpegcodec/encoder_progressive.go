@@ -405,6 +405,13 @@ func encodeProgressive(img *RGBImage, opts EncodeOptions, comps []jfif.Component
 		jw.WriteDRI(opts.RestartInterval)
 	}
 
+	// One pooled emission buffer serves every scan: WriteProgressiveSOS
+	// copies the entropy bytes into the container, so the writer just
+	// resets between scans and the (possibly regrown) slab is recycled
+	// once at the end.
+	ew := newEntropyWriter(infos)
+	defer func() { putByteSlab(ew.Flush()) }()
+
 	for i, spec := range script {
 		enc := &progScanEnc{
 			spec:            spec,
@@ -443,7 +450,8 @@ func encodeProgressive(img *RGBImage, opts EncodeOptions, comps []jfif.Component
 		}
 
 		// Pass 2: real emission.
-		emit := &progBitWriter{w: bitstream.NewWriter(), tabs: tabs}
+		ew.Reset()
+		emit := &progBitWriter{w: ew, tabs: tabs}
 		enc.run(emit)
 
 		scanComps := make([]jfif.Component, len(spec.Comps))

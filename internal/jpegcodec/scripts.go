@@ -1,0 +1,55 @@
+package jpegcodec
+
+// The named progressive scan-script table. Every consumer that spells a
+// script by name — the transcode knobs (?script=), cmd/jpegxc, the
+// fixture generator in internal/imagegen — resolves it here, so the
+// public encoder and the test fixtures cannot drift apart (the table is
+// pinned by scripts_test.go).
+
+// NamedScript pairs a scan script with its stable public name.
+type NamedScript struct {
+	// Name is the spelling frontends accept ("default", "spectral",
+	// "multiband", "deepsa").
+	Name string
+	// Build returns a fresh copy of the script (scripts are mutable
+	// slices; sharing one instance across encodes would invite aliasing
+	// bugs).
+	Build func() []ScanSpec
+}
+
+// Scripts returns the progressive scan-script table in its stable
+// order. The first entry is the default script.
+func Scripts() []NamedScript {
+	return []NamedScript{
+		{Name: "default", Build: ScriptDefault},
+		{Name: "spectral", Build: ScriptSpectralOnly},
+		{Name: "multiband", Build: ScriptMultiBand},
+		{Name: "deepsa", Build: ScriptDeepSA},
+	}
+}
+
+// ScriptByName resolves a script name from the table; ok is false for
+// unknown names. The empty string resolves to the default script, so
+// frontends can pass an unset knob straight through.
+func ScriptByName(name string) ([]ScanSpec, bool) {
+	if name == "" {
+		return ScriptDefault(), true
+	}
+	for _, ns := range Scripts() {
+		if ns.Name == name {
+			return ns.Build(), true
+		}
+	}
+	return nil, false
+}
+
+// ScriptNames returns the accepted script names in table order, for
+// frontends composing "want one of ..." error messages.
+func ScriptNames() []string {
+	all := Scripts()
+	names := make([]string, len(all))
+	for i, ns := range all {
+		names[i] = ns.Name
+	}
+	return names
+}

@@ -1,0 +1,66 @@
+package jpegcodec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScriptTablePinned pins the named script table: the names, their
+// order, and the exact scan specs each name resolves to. The fixture
+// generator (internal/imagegen) and the transcode knobs both resolve
+// scripts through this table; a drift here silently changes every
+// committed fixture and transcode output, so it must be deliberate.
+func TestScriptTablePinned(t *testing.T) {
+	wantNames := []string{"default", "spectral", "multiband", "deepsa"}
+	if got := ScriptNames(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("ScriptNames() = %v, want %v", got, wantNames)
+	}
+
+	builders := map[string]func() []ScanSpec{
+		"default":   ScriptDefault,
+		"spectral":  ScriptSpectralOnly,
+		"multiband": ScriptMultiBand,
+		"deepsa":    ScriptDeepSA,
+	}
+	for name, build := range builders {
+		byName, ok := ScriptByName(name)
+		if !ok {
+			t.Fatalf("ScriptByName(%q) not found", name)
+		}
+		if !reflect.DeepEqual(byName, build()) {
+			t.Errorf("ScriptByName(%q) differs from its exported builder", name)
+		}
+		if err := validateScript(byName, 3); err != nil {
+			t.Errorf("script %q does not validate: %v", name, err)
+		}
+	}
+
+	// Scan-count fingerprint: a change in any script's shape must show
+	// up here as a deliberate edit.
+	wantScans := map[string]int{"default": 10, "spectral": 4, "multiband": 10, "deepsa": 13}
+	for name, want := range wantScans {
+		sc, _ := ScriptByName(name)
+		if len(sc) != want {
+			t.Errorf("script %q has %d scans, pinned at %d", name, len(sc), want)
+		}
+	}
+}
+
+// TestScriptByNameDefaults covers the empty-string default and the
+// unknown-name refusal, plus copy semantics (mutating a resolved script
+// must not leak into the table).
+func TestScriptByNameDefaults(t *testing.T) {
+	def, ok := ScriptByName("")
+	if !ok || !reflect.DeepEqual(def, ScriptDefault()) {
+		t.Fatalf("ScriptByName(\"\") = (%v, %v), want the default script", def, ok)
+	}
+	if _, ok := ScriptByName("nope"); ok {
+		t.Fatal("ScriptByName(\"nope\") resolved; want ok=false")
+	}
+	a, _ := ScriptByName("spectral")
+	a[0].Ss = 42
+	b, _ := ScriptByName("spectral")
+	if b[0].Ss == 42 {
+		t.Fatal("ScriptByName returns a shared instance; want a fresh copy per call")
+	}
+}

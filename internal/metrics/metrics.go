@@ -254,6 +254,21 @@ func (v *CounterFuncVec) Bind(fn func() uint64, labelValues ...string) {
 	s.counter, s.counterFn = nil, fn
 }
 
+// GaugeFuncVec adds a func-backed gauge series per label set.
+type GaugeFuncVec struct{ f *family }
+
+// NewGaugeFuncVec registers a labeled gauge family whose series are
+// each read from their own func at scrape time.
+func (r *Registry) NewGaugeFuncVec(name, help string, labelNames ...string) *GaugeFuncVec {
+	return &GaugeFuncVec{r.register(name, help, kindGauge, labelNames, nil)}
+}
+
+// Bind attaches fn as the series for the label values.
+func (v *GaugeFuncVec) Bind(fn func() float64, labelValues ...string) {
+	s := v.f.with(labelValues)
+	s.gauge, s.gaugeFn = nil, fn
+}
+
 // GaugeVec is a family of gauges partitioned by labels.
 type GaugeVec struct{ f *family }
 

@@ -1,0 +1,86 @@
+package perfmodel
+
+// EncodeClass names the encoder configuration a rate observation
+// belongs to. The three classes cost very differently per MCU: the
+// baseline single-pass emitter, the two-pass optimal-Huffman emitter
+// (statistics pass plus emission pass), and the progressive emitter
+// (two passes per scan over a multi-scan script), so one EWMA across
+// them would whipsaw whenever traffic shifts between output formats.
+type EncodeClass int
+
+const (
+	// EncodeBaseline is a single statistics-free pass with the Annex K
+	// default tables.
+	EncodeBaseline EncodeClass = iota
+	// EncodeOptimized adds the optimal-Huffman statistics pass.
+	EncodeOptimized
+	// EncodeProgressive runs two passes per scan of the script.
+	EncodeProgressive
+	numEncodeClasses
+)
+
+// String returns the class's stable label ("baseline", "optimized",
+// "progressive"), the spelling metrics and logs use.
+func (c EncodeClass) String() string {
+	switch c {
+	case EncodeOptimized:
+		return "optimized"
+	case EncodeProgressive:
+		return "progressive"
+	}
+	return "baseline"
+}
+
+// EncodeClasses lists the classes in slot order.
+func EncodeClasses() []EncodeClass {
+	return []EncodeClass{EncodeBaseline, EncodeOptimized, EncodeProgressive}
+}
+
+// encodeClassIdx maps a class to its slot; out-of-range values share
+// the baseline slot (they cannot occur for validated transcodes).
+func encodeClassIdx(c EncodeClass) int {
+	if c < 0 || c >= numEncodeClasses {
+		return int(EncodeBaseline)
+	}
+	return int(c)
+}
+
+// EncodeRates keys an OnlineRate (ns per output MCU of the re-encode
+// stage) by encoder class. It is the encode-side mirror of ScaledRates:
+// the transcode pipeline seeds each class from a calibration encode and
+// corrects it with per-request measurements, and imaged prices
+// Retry-After for /transcode from the learned values.
+//
+// Like OnlineRate, the zero value is ready to use and access must be
+// serialized by the caller.
+type EncodeRates struct {
+	rates [numEncodeClasses]OnlineRate
+}
+
+// At returns the rate for an encoder class.
+func (r *EncodeRates) At(c EncodeClass) *OnlineRate {
+	return &r.rates[encodeClassIdx(c)]
+}
+
+// Max returns the largest current estimate across classes (0 when all
+// are unseeded) — the conservative choice when pricing mixed traffic.
+func (r *EncodeRates) Max() float64 {
+	var m float64
+	for i := range r.rates {
+		if v := r.rates[i].Value(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ClassFor maps encoder knobs to the rate class they are billed under.
+func ClassFor(progressive, optimize bool) EncodeClass {
+	switch {
+	case progressive:
+		return EncodeProgressive
+	case optimize:
+		return EncodeOptimized
+	}
+	return EncodeBaseline
+}

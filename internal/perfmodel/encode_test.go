@@ -1,0 +1,51 @@
+package perfmodel
+
+import "testing"
+
+func TestEncodeRatesPerClassIsolation(t *testing.T) {
+	var r EncodeRates
+	r.At(EncodeBaseline).Observe(100)
+	r.At(EncodeProgressive).Observe(900)
+
+	if v := r.At(EncodeBaseline).Value(); v != 100 {
+		t.Errorf("baseline rate = %v, want 100", v)
+	}
+	if v := r.At(EncodeOptimized).Value(); v != 0 {
+		t.Errorf("optimized rate = %v, want 0 (unseeded)", v)
+	}
+	if v := r.At(EncodeProgressive).Value(); v != 900 {
+		t.Errorf("progressive rate = %v, want 900", v)
+	}
+	if v := r.Max(); v != 900 {
+		t.Errorf("Max() = %v, want 900", v)
+	}
+
+	// Seed must not override an observed value, matching OnlineRate.
+	r.At(EncodeBaseline).Seed(5000)
+	if v := r.At(EncodeBaseline).Value(); v != 100 {
+		t.Errorf("Seed overrode observed baseline rate: %v", v)
+	}
+
+	// Out-of-range classes alias the baseline slot instead of panicking.
+	if got := r.At(EncodeClass(99)).Value(); got != 100 {
+		t.Errorf("out-of-range class = %v, want baseline's 100", got)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		progressive, optimize bool
+		want                  EncodeClass
+	}{
+		{false, false, EncodeBaseline},
+		{false, true, EncodeOptimized},
+		{true, false, EncodeProgressive},
+		// Progressive implies per-scan optimal tables, so it wins.
+		{true, true, EncodeProgressive},
+	}
+	for _, c := range cases {
+		if got := ClassFor(c.progressive, c.optimize); got != c.want {
+			t.Errorf("ClassFor(%v, %v) = %v, want %v", c.progressive, c.optimize, got, c.want)
+		}
+	}
+}

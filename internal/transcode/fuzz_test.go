@@ -1,0 +1,68 @@
+package transcode
+
+import (
+	"errors"
+	"testing"
+
+	"hetjpeg/internal/jfif"
+	"hetjpeg/internal/jpegcodec"
+)
+
+// FuzzTranscode drives the whole decode → scale → re-encode pipeline
+// with arbitrary input bytes and arbitrary knob values. The contract
+// under fuzz: never panic; invalid knobs fail with ErrBadOptions
+// before touching the input; and when a transcode succeeds, its output
+// must be a well-formed JPEG that re-decodes cleanly at the advertised
+// geometry.
+func FuzzTranscode(f *testing.F) {
+	valid := testJPEG(f, 97, 75, jpegcodec.EncodeOptions{Quality: 85, Subsampling: jfif.Sub422})
+	prog := testJPEG(f, 64, 48, jpegcodec.EncodeOptions{Quality: 80, Progressive: true})
+	f.Add(valid, uint8(8), 80, false, uint8(0), uint8(0), uint8(2))
+	f.Add(valid, uint8(1), 0, true, uint8(1), uint8(2), uint8(1))
+	f.Add(prog, uint8(2), 95, true, uint8(3), uint8(1), uint8(4))
+	f.Add([]byte("\xFF\xD8not a jpeg"), uint8(4), 50, false, uint8(0), uint8(0), uint8(0))
+	f.Add(valid[:40], uint8(8), 200, false, uint8(9), uint8(7), uint8(255))
+
+	scales := []jpegcodec.Scale{jpegcodec.Scale1, jpegcodec.Scale2, jpegcodec.Scale4, jpegcodec.Scale8}
+	subs := []jfif.Subsampling{jfif.Sub444, jfif.Sub422, jfif.Sub420}
+	// One slot past the table so the fuzzer also drives unknown-script
+	// validation.
+	scripts := append(append([]string{}, jpegcodec.ScriptNames()...), "no-such-script")
+
+	f.Fuzz(func(t *testing.T, data []byte, scaleSel uint8, quality int, progressive bool, scriptSel, subSel, workers uint8) {
+		opts := Options{
+			Scale:       scales[int(scaleSel)%len(scales)],
+			Quality:     quality,
+			Progressive: progressive,
+			Script:      scripts[int(scriptSel)%len(scripts)],
+			Subsampling: subs[int(subSel)%len(subs)],
+			Workers:     int(workers % 9),
+		}
+		if !progressive && scriptSel%2 == 0 {
+			opts.Script = ""
+		}
+		res, err := Transcode(data, opts)
+		if opts.Validate() != nil {
+			if !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("invalid options %+v: err = %v, want ErrBadOptions", opts, err)
+			}
+			return
+		}
+		if err != nil {
+			// Typed decode failure (corrupt/unsupported input): fine, as
+			// long as no result leaks alongside it.
+			if res != nil {
+				t.Fatalf("error %v returned alongside a result", err)
+			}
+			return
+		}
+		out, err := jpegcodec.DecodeScalar(res.Data)
+		if err != nil {
+			t.Fatalf("transcoded output does not re-decode: %v", err)
+		}
+		if out.W != res.W || out.H != res.H {
+			t.Fatalf("output decodes to %dx%d, result says %dx%d", out.W, out.H, res.W, res.H)
+		}
+		out.Release()
+	})
+}
